@@ -1,0 +1,87 @@
+// Experiment T3 (Lemma 3.9 / Corollary 3.10): quality of the derandomized
+// seed selection. For every Partition executed during a ColorReduce run we
+// record bad-node counts against the paper's n/ell^2 target, bad bins
+// (must be zero), and the bad-subgraph G0 size against the O(n) budget that
+// makes the collect step legal.
+#include <cstdio>
+#include <vector>
+
+#include "core/color_reduce.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+using namespace detcol;
+
+namespace {
+struct Agg {
+  std::uint64_t partitions = 0;
+  std::uint64_t bad_nodes = 0;
+  std::uint64_t bad_bins = 0;
+  std::uint64_t reclassified = 0;
+  std::uint64_t g0_words_max = 0;
+  double paper_bound_sum = 0.0;  // sum over partitions of n_orig/ell^2
+  std::uint64_t met = 0;
+};
+
+void walk(const CallStats& s, std::uint64_t n_orig, Agg& a) {
+  if (!s.collected && s.n > 0) {
+    ++a.partitions;
+    a.bad_nodes += s.bad_nodes;
+    a.bad_bins += s.bad_bins;
+    a.reclassified += s.reclassified;
+    a.g0_words_max = std::max(a.g0_words_max, s.g0_words);
+    a.paper_bound_sum +=
+        static_cast<double>(n_orig) / (s.ell * s.ell);
+    if (s.seed_met_threshold) ++a.met;
+  }
+  for (const auto& c : s.children) walk(c, n_orig, a);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto ns = args.get_uint_list("ns", {2000, 8000, 32000});
+  const auto degs = args.get_uint_list("degs", {16, 64});
+
+  Table t({"n", "Delta", "partitions", "bad nodes", "n/l^2 budget(sum)",
+           "bad bins", "reclassified", "max G0 words", "G0 budget",
+           "seeds ok"});
+  for (const auto n : ns) {
+    for (const auto d : degs) {
+      const Graph g = gen_random_regular(static_cast<NodeId>(n),
+                                         static_cast<NodeId>(d), 42 + n + d);
+      const PaletteSet pal = PaletteSet::delta_plus_one(g);
+      ColorReduceConfig cfg;
+      cfg.part.collect_factor = 2.0;
+      const auto r = color_reduce(g, pal, cfg);
+      const auto v = verify_coloring(g, pal, r.coloring);
+      if (!v.ok) {
+        std::fprintf(stderr, "INVALID: %s\n", v.issue.c_str());
+        return 1;
+      }
+      Agg a;
+      walk(r.root, n, a);
+      t.row()
+          .cell(n)
+          .cell(std::uint64_t{g.max_degree()})
+          .cell(a.partitions)
+          .cell(a.bad_nodes)
+          .cell(a.paper_bound_sum, 1)
+          .cell(a.bad_bins)
+          .cell(a.reclassified)
+          .cell(a.g0_words_max)
+          .cell(static_cast<std::uint64_t>(cfg.part.g0_budget *
+                                           static_cast<double>(n)))
+          .cell(std::to_string(a.met) + "/" + std::to_string(a.partitions));
+    }
+  }
+  t.print("T3 — Lemma 3.9 / Cor 3.10: derandomized partition quality");
+  std::printf(
+      "\nPaper prediction: zero bad bins, and every G0 collected is O(n)\n"
+      "words ('max G0 words' <= 'G0 budget'). The paper's asymptotic\n"
+      "n/ell^2 bad-node count is loose at laptop-scale ell (slack terms\n"
+      "ell^0.6 dominate small degrees), which the comparison column shows.\n");
+  return 0;
+}

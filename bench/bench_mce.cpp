@@ -1,0 +1,125 @@
+// Experiment F2 (Lemma 3.8 + Section 2.4): the derandomization itself.
+// Part 1: the cost q(h1,h2) of *random* seed pairs on a fixed Partition
+// instance — Lemma 3.8 bounds the expectation by n/ell^2; we print the
+// empirical distribution (mean, quantiles, fraction within the acceptance
+// threshold) over many seeds.
+// Part 2: the method-of-conditional-expectations trajectory: the running
+// estimate after each fixed chunk must be non-increasing, ending at a seed
+// whose exact cost meets the threshold.
+// Part 3: seed-selection strategy comparison (evaluations, final cost).
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/partition.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace detcol;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const NodeId n = static_cast<NodeId>(args.get_uint("n", 1000));
+  const NodeId deg = static_cast<NodeId>(args.get_uint("deg", 32));
+  const std::uint64_t trials = args.get_uint("trials", 200);
+
+  const Graph g = gen_random_regular(n, deg, 11);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  Instance inst;
+  inst.orig.resize(n);
+  std::iota(inst.orig.begin(), inst.orig.end(), NodeId{0});
+  inst.graph = g;
+  inst.ell = static_cast<double>(g.max_degree());
+  PartitionParams params;
+
+  const std::uint64_t b = num_bins(inst.ell, params);
+  const unsigned c = params.independence;
+  const unsigned bits = 2 * KWiseHash::seed_bits(c);
+
+  auto eval = [&](const SeedBits& s) {
+    const KWiseHash h1(s.word_range(0, c), b);
+    const KWiseHash h2(s.word_range(c, c), b - 1);
+    return classify(inst, pal, h1, h2, n, params);
+  };
+
+  // Part 1: random-seed population.
+  std::vector<double> q_costs, size_costs;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    const auto cls = eval(SeedBits::expand(bits, 0xF00, i));
+    q_costs.push_back(cls.cost_q);
+    size_costs.push_back(cls.cost_size);
+  }
+  std::sort(q_costs.begin(), q_costs.end());
+  std::sort(size_costs.begin(), size_costs.end());
+  const double mean_q =
+      std::accumulate(q_costs.begin(), q_costs.end(), 0.0) / trials;
+  const double bound = static_cast<double>(n) / (inst.ell * inst.ell);
+  const double threshold = params.g0_budget * static_cast<double>(n);
+  const std::uint64_t within =
+      std::count_if(size_costs.begin(), size_costs.end(),
+                    [&](double v) { return v <= threshold; });
+
+  Table t1({"metric", "value"});
+  t1.row().cell("seeds sampled").cell(trials);
+  t1.row().cell("mean q (bad nodes + n*bad bins)").cell(mean_q, 2);
+  t1.row().cell("Lemma 3.8 asymptotic bound n/l^2").cell(bound, 2);
+  t1.row().cell("median q").cell(q_costs[trials / 2], 1);
+  t1.row().cell("p95 q").cell(q_costs[trials * 95 / 100], 1);
+  t1.row().cell("max q").cell(q_costs.back(), 1);
+  t1.row()
+      .cell("seeds meeting G0 acceptance")
+      .cell(std::to_string(within) + "/" + std::to_string(trials));
+  t1.print("F2a — Lemma 3.8: cost distribution of random seeds");
+
+  // Part 2: MCE trajectory.
+  SeedSelectConfig mce;
+  mce.strategy = SeedStrategy::kMceSampled;
+  mce.chunk_bits = 4;
+  mce.mce_samples = 2;
+  const SeedCostFn cost = [&](const SeedBits& s) {
+    return eval(s).cost_size;
+  };
+  const auto sel = select_seed(bits, cost, threshold, mce, 0xCE11);
+  Table t2({"chunk", "running estimate"});
+  for (std::size_t i = 0; i < sel.trajectory.size(); ++i) {
+    if (i % 8 == 0 || i + 1 == sel.trajectory.size()) {
+      t2.row().cell(std::uint64_t{i}).cell(sel.trajectory[i], 1);
+    }
+  }
+  t2.print("F2b — Section 2.4: conditional-expectation trajectory");
+  std::printf("final exact cost %.1f (threshold %.1f, met=%s, %llu evals)\n",
+              sel.cost, threshold, sel.met_threshold ? "yes" : "no",
+              static_cast<unsigned long long>(sel.evaluations));
+
+  // Part 3: strategy comparison.
+  Table t3({"strategy", "exact cost", "met", "evaluations",
+            "model rounds charged"});
+  for (const auto strat :
+       {SeedStrategy::kThresholdScan, SeedStrategy::kMceSampled}) {
+    SeedSelectConfig cfg;
+    cfg.strategy = strat;
+    cfg.chunk_bits = 4;
+    cfg.mce_samples = 2;
+    const auto r = select_seed(bits, cost, threshold, cfg, 0xAB);
+    t3.row()
+        .cell(strat == SeedStrategy::kThresholdScan ? "threshold scan"
+                                                    : "MCE (sampled)")
+        .cell(r.cost, 1)
+        .cell(r.met_threshold ? "yes" : "no")
+        .cell(r.evaluations)
+        .cell(r.rounds_charged);
+  }
+  t3.print("F2c — seed-selection strategies");
+  std::printf(
+      "\nPaper prediction: random seeds are overwhelmingly good (Lemma 3.8\n"
+      "in spirit; its n/l^2 constant is asymptotic), and both strategies\n"
+      "end below the acceptance threshold while charging the same\n"
+      "O(1)-round schedule. Note: the *exact* MCE trajectory is provably\n"
+      "non-increasing (validated in tests/test_strategies.cpp); the sampled\n"
+      "variant shown here re-draws suffix completions per chunk, so its\n"
+      "trace fluctuates before collapsing onto a good seed.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment F3: micro-benchmarks (google-benchmark) of the hot primitives:
+// field multiply, k-wise hash evaluation, Definition 3.1 classification,
+// induced-subgraph construction, and the local greedy. These bound the
+// wall-clock cost per seed evaluation, which is what makes the threshold
+// scan / MCE search affordable.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/classify.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "hashing/field.hpp"
+#include "hashing/kwise.hpp"
+
+using namespace detcol;
+
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  std::uint64_t a = 0x123456789ABCDEFULL, b = 0xFEDCBA987654321ULL;
+  for (auto _ : state) {
+    a = m61_mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_KWiseEval(benchmark::State& state) {
+  const auto h =
+      KWiseHash::from_u64_seed(7, static_cast<unsigned>(state.range(0)), 16);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(++x));
+  }
+}
+BENCHMARK(BM_KWiseEval)->Arg(2)->Arg(4)->Arg(8);
+
+struct ClassifyFixture {
+  Graph g;
+  PaletteSet pal;
+  Instance inst;
+  PartitionParams params;
+
+  explicit ClassifyFixture(NodeId n, NodeId d)
+      : g(gen_random_regular(n, d, 1)), pal(PaletteSet::delta_plus_one(g)) {
+    inst.orig.resize(n);
+    std::iota(inst.orig.begin(), inst.orig.end(), NodeId{0});
+    inst.graph = g;
+    inst.ell = static_cast<double>(g.max_degree());
+  }
+};
+
+void BM_Classify(benchmark::State& state) {
+  ClassifyFixture f(static_cast<NodeId>(state.range(0)), 32);
+  const std::uint64_t b = num_bins(f.inst.ell, f.params);
+  const auto h1 = KWiseHash::from_u64_seed(1, 4, b);
+  const auto h2 = KWiseHash::from_u64_seed(2, 4, b - 1);
+  for (auto _ : state) {
+    const auto cls = classify(f.inst, f.pal, h1, h2, f.g.num_nodes(),
+                              f.params);
+    benchmark::DoNotOptimize(cls.cost_q);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Classify)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  const Graph g =
+      gen_random_regular(static_cast<NodeId>(state.range(0)), 32, 2);
+  std::vector<NodeId> half;
+  for (NodeId v = 0; v < g.num_nodes(); v += 2) half.push_back(v);
+  for (auto _ : state) {
+    const Graph sub = induced_subgraph(g, half);
+    benchmark::DoNotOptimize(sub.num_edges());
+  }
+}
+BENCHMARK(BM_InducedSubgraph)->Arg(1000)->Arg(8000);
+
+void BM_GreedyColor(benchmark::State& state) {
+  const Graph g =
+      gen_random_regular(static_cast<NodeId>(state.range(0)), 32, 3);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  for (auto _ : state) {
+    Coloring c(g.num_nodes());
+    const bool ok = greedy_color_all(g, pal, c);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedyColor)->Arg(1000)->Arg(8000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

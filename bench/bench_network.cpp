@@ -1,0 +1,57 @@
+// Experiment F4: Theorem 1.1's pipeline at true message granularity.
+// One ColorReduce level runs on the per-link-bandwidth-enforcing network:
+// seed agreement via the distributed method of conditional expectations
+// (exactly 2 rounds per chunk), balanced-routed collects, and neighbor
+// announcements. Measured *network* rounds must be flat in n — the same
+// constancy T1 shows for the costed simulator, now with every word
+// scheduled onto a real link.
+#include <cstdio>
+
+#include "core/network_color.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace detcol;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto ns = args.get_uint_list("ns", {64, 128, 256, 512});
+  const NodeId deg = static_cast<NodeId>(args.get_uint("deg", 8));
+
+  Table t({"n", "Delta", "network rounds", "mce rounds", "routing+color",
+           "words", "bad bins", "G0 words", "wall ms"});
+  PartitionParams params;
+  for (const auto n : ns) {
+    const Graph g =
+        gen_random_regular(static_cast<NodeId>(n), deg, 1000 + n);
+    const PaletteSet pal = PaletteSet::delta_plus_one(g);
+    WallTimer timer;
+    const auto r = network_color_round(g, pal, params);
+    const double ms = timer.millis();
+    const auto v = verify_coloring(g, pal, r.coloring);
+    if (!v.ok) {
+      std::fprintf(stderr, "INVALID at n=%llu: %s\n",
+                   static_cast<unsigned long long>(n), v.issue.c_str());
+      return 1;
+    }
+    t.row()
+        .cell(n)
+        .cell(std::uint64_t{g.max_degree()})
+        .cell(r.network_rounds)
+        .cell(r.mce_rounds)
+        .cell(r.network_rounds - r.mce_rounds)
+        .cell(r.words_sent)
+        .cell(r.cls.num_bad_bins)
+        .cell(r.cls.bad_graph_words)
+        .cell(ms, 1);
+  }
+  t.print("F4 — message-level ColorReduce level: rounds vs n");
+  std::printf(
+      "\nPaper prediction: every phase is O(1) network rounds independent\n"
+      "of n — the MCE column is exactly 2 x (seed bits / chunk bits), the\n"
+      "routing/coloring remainder is a small constant, and words grow\n"
+      "linearly while rounds stay flat.\n");
+  return 0;
+}

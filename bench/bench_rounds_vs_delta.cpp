@@ -1,0 +1,55 @@
+// Experiment T2 (Theorem 1.1): rounds as a function of Delta at fixed n.
+// The constant in O(1) depends on the recursion depth, which grows very
+// slowly with Delta (Lemma 3.14 caps it at 9 asymptotically); measured
+// rounds may drift with Delta but stay bounded and tiny relative to the
+// O(log Delta)-round deterministic state of the art the paper supersedes.
+#include <cmath>
+#include <cstdio>
+
+#include "core/color_reduce.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace detcol;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const NodeId n = static_cast<NodeId>(args.get_uint("n", 8000));
+  const auto degs = args.get_uint_list("degs", {8, 16, 32, 64, 128});
+
+  Table t({"n", "Delta", "rounds", "depth", "partitions", "depth/lg(Delta)",
+           "wall ms"});
+  for (const auto d : degs) {
+    const Graph g = gen_random_regular(n, static_cast<NodeId>(d), 777 + d);
+    const PaletteSet pal = PaletteSet::delta_plus_one(g);
+    ColorReduceConfig cfg;
+    cfg.part.collect_factor = 2.0;
+    WallTimer timer;
+    const auto r = color_reduce(g, pal, cfg);
+    const double ms = timer.millis();
+    const auto v = verify_coloring(g, pal, r.coloring);
+    if (!v.ok) {
+      std::fprintf(stderr, "INVALID: %s\n", v.issue.c_str());
+      return 1;
+    }
+    t.row()
+        .cell(std::uint64_t{n})
+        .cell(std::uint64_t{g.max_degree()})
+        .cell(r.ledger.total_rounds())
+        .cell(r.max_depth_reached)
+        .cell(r.num_partitions)
+        .cell(static_cast<double>(r.max_depth_reached) /
+                  std::max(1.0, std::log2(static_cast<double>(d))),
+              2)
+        .cell(ms, 1);
+  }
+  t.print("T2 — Theorem 1.1: rounds vs Delta at fixed n");
+  std::printf(
+      "\nPaper prediction: recursion depth stays O(1) (<= 9 at asymptotic\n"
+      "parameters); at laptop scale bins = 2, so depth tracks ~log2(Delta)\n"
+      "until the collect threshold bites, and rounds stay in the hundreds\n"
+      "regardless of n (contrast the O(log n)-round randomized baseline).\n");
+  return 0;
+}

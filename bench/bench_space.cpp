@@ -1,0 +1,58 @@
+// Experiment T4 (Theorems 1.2 / 1.3): space accounting.
+//   * Theorem 1.2: explicit palettes cost Theta(n*Delta) global words —
+//     optimal for general lists, whose input is that big.
+//   * Theorem 1.3: for plain (Δ+1)-coloring the implicit representation
+//     (restriction chains + removed colors) brings global space to O(m+n).
+//   * The collect step never exceeds the O(n) single-machine bound.
+#include <cstdio>
+
+#include "core/color_reduce.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace detcol;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto ns = args.get_uint_list("ns", {2000, 8000, 32000});
+  const auto degs = args.get_uint_list("degs", {32, 128});
+
+  Table t({"n", "Delta", "m", "explicit pal words", "implicit words",
+           "m+n", "implicit/(m+n)", "peak collect", "collect cap"});
+  for (const auto n : ns) {
+    for (const auto d : degs) {
+      const Graph g = gen_random_regular(static_cast<NodeId>(n),
+                                         static_cast<NodeId>(d), 5 + n + d);
+      const PaletteSet pal = PaletteSet::delta_plus_one(g);
+      ColorReduceConfig cfg;
+      cfg.part.collect_factor = 2.0;
+      cfg.mirror_implicit = true;
+      const auto r = color_reduce(g, pal, cfg);
+      const auto v = verify_coloring(g, pal, r.coloring);
+      if (!v.ok) {
+        std::fprintf(stderr, "INVALID: %s\n", v.issue.c_str());
+        return 1;
+      }
+      const std::uint64_t mn = g.num_edges() + g.num_nodes();
+      const std::uint64_t imp = r.implicit_store->space_words();
+      t.row()
+          .cell(n)
+          .cell(std::uint64_t{g.max_degree()})
+          .cell(g.num_edges())
+          .cell(r.explicit_palette_words)
+          .cell(imp)
+          .cell(mn)
+          .cell(static_cast<double>(imp) / static_cast<double>(mn), 2)
+          .cell(r.peak_collect_words)
+          .cell(static_cast<std::uint64_t>(cfg.collect_slack *
+                                           static_cast<double>(n)));
+    }
+  }
+  t.print("T4 — Theorems 1.2/1.3: palette space, explicit vs implicit");
+  std::printf(
+      "\nPaper prediction: 'explicit pal words' grows like n*Delta while\n"
+      "'implicit words' tracks m+n (constant ratio column), and the peak\n"
+      "collected instance always fits the O(n)-word machine capacity.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment F1 (Lemmas 3.11-3.13): recursion trajectories. For one deep
+// ColorReduce run, print per depth the realized ell_i, the largest instance
+// node count n_i and max degree Delta_i, next to the analytic upper bounds
+//   ell_i <= Delta^{0.9^i},        (Lemma 3.11)
+//   n_i <= 3^i (n Delta^{0.9^i - 1} + n^0.6),   (Lemma 3.12)
+//   Delta_i <= 2^i Delta^{0.9^i}.  (Lemma 3.13)
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/color_reduce.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace detcol;
+
+namespace {
+struct DepthAgg {
+  double ell = 0.0;
+  std::uint64_t max_n = 0;
+  std::uint64_t max_deg = 0;
+  std::uint64_t instances = 0;
+};
+
+void walk(const CallStats& s, std::map<unsigned, DepthAgg>& by_depth) {
+  auto& a = by_depth[s.depth];
+  a.ell = std::max(a.ell, s.ell);
+  a.max_n = std::max(a.max_n, s.n);
+  a.max_deg = std::max(a.max_deg, s.max_deg);
+  ++a.instances;
+  for (const auto& c : s.children) walk(c, by_depth);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const NodeId n = static_cast<NodeId>(args.get_uint("n", 16000));
+  const NodeId deg = static_cast<NodeId>(args.get_uint("deg", 128));
+
+  const Graph g = gen_random_regular(n, deg, 2024);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  ColorReduceConfig cfg;
+  cfg.part.collect_factor = 1.0;  // go as deep as the structure allows
+  const auto r = color_reduce(g, pal, cfg);
+  const auto v = verify_coloring(g, pal, r.coloring);
+  if (!v.ok) {
+    std::fprintf(stderr, "INVALID: %s\n", v.issue.c_str());
+    return 1;
+  }
+  std::map<unsigned, DepthAgg> by_depth;
+  walk(r.root, by_depth);
+
+  const double delta0 = static_cast<double>(g.max_degree());
+  Table t({"depth", "instances", "ell_i", "L3.11 bound", "max n_i",
+           "L3.12 bound", "max Delta_i", "L3.13 bound"});
+  for (const auto& [depth, a] : by_depth) {
+    t.row()
+        .cell(depth)
+        .cell(a.instances)
+        .cell(a.ell, 1)
+        .cell(lemma_311_ell_upper(delta0, depth), 1)
+        .cell(a.max_n)
+        .cell(lemma_312_nodes_upper(static_cast<double>(n), delta0, depth), 0)
+        .cell(a.max_deg)
+        .cell(lemma_313_degree_upper(delta0, depth), 1);
+  }
+  t.print("F1 — Lemmas 3.11-3.13: recursion trajectories vs analytic bounds");
+  std::printf(
+      "\nPaper prediction: every measured column stays at or below its\n"
+      "bound column; depth stays O(1) (9 suffices asymptotically). Note\n"
+      "ell_i follows the bound exactly by construction of next_ell.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Exam timetabling as list coloring. Courses conflict when they share a
+// student; conflicting courses need different exam slots; each course may
+// only use slots its room/examiner allows (its list).
+//
+//   ./exam_timetabling [--students=2000] [--courses=400] [--load=4]
+//
+// Generates a random enrollment (each student takes `load` courses), builds
+// the course-conflict graph, gives each course a list of deg+1 permitted
+// slots, and compares the paper's deterministic distributed algorithm with
+// the centralized greedy.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "baselines/greedy.hpp"
+#include "core/color_reduce.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace detcol;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::uint64_t students = args.get_uint("students", 2000);
+  const NodeId courses = static_cast<NodeId>(args.get_uint("courses", 400));
+  const unsigned load = static_cast<unsigned>(args.get_uint("load", 4));
+
+  // Random enrollment -> conflict edges between co-taken courses.
+  Xoshiro256 rng(1618);
+  std::set<Edge> conflicts;
+  for (std::uint64_t s = 0; s < students; ++s) {
+    std::vector<NodeId> taken;
+    while (taken.size() < load) {
+      const NodeId c = static_cast<NodeId>(rng.next_below(courses));
+      if (std::find(taken.begin(), taken.end(), c) == taken.end()) {
+        taken.push_back(c);
+      }
+    }
+    for (std::size_t i = 0; i < taken.size(); ++i) {
+      for (std::size_t j = i + 1; j < taken.size(); ++j) {
+        conflicts.emplace(std::min(taken[i], taken[j]),
+                          std::max(taken[i], taken[j]));
+      }
+    }
+  }
+  const std::vector<Edge> edges(conflicts.begin(), conflicts.end());
+  const Graph g = Graph::from_edges(courses, edges);
+  std::printf("conflict graph: %u courses, %zu conflicting pairs, max "
+              "conflicts per course %u\n",
+              g.num_nodes(), g.num_edges(), g.max_degree());
+
+  // Each course gets deg+1 permitted slots out of a week of 64 slot ids —
+  // different courses have different availability windows.
+  std::vector<std::vector<Color>> slots(courses);
+  const Color week = 64 + g.max_degree();  // enough slot ids to draw from
+  for (NodeId c = 0; c < courses; ++c) {
+    Xoshiro256 r2(sub_seed(99, c));
+    std::set<Color> mine;
+    while (mine.size() <= g.degree(c)) mine.insert(r2.next_below(week));
+    slots[c].assign(mine.begin(), mine.end());
+  }
+  const PaletteSet permitted{std::move(slots)};
+
+  const auto det = color_reduce(g, permitted);
+  const auto vd = verify_coloring(g, permitted, det.coloring);
+  if (!vd.ok) {
+    std::fprintf(stderr, "timetable invalid: %s\n", vd.issue.c_str());
+    return 1;
+  }
+  const auto greedy = greedy_baseline(g, permitted);
+  const auto vg = verify_coloring(g, permitted, greedy.coloring);
+
+  std::set<Color> used_det(det.coloring.color.begin(),
+                           det.coloring.color.end());
+  std::set<Color> used_greedy(greedy.coloring.color.begin(),
+                              greedy.coloring.color.end());
+
+  Table t({"algorithm", "valid", "distinct slots used", "model rounds"});
+  t.row()
+      .cell("ColorReduce (distributed, deterministic)")
+      .cell(vd.ok ? "yes" : "NO")
+      .cell(used_det.size())
+      .cell(det.ledger.total_rounds());
+  t.row()
+      .cell("Greedy (centralized)")
+      .cell(vg.ok ? "yes" : "NO")
+      .cell(used_greedy.size())
+      .cell(std::uint64_t{0});
+  t.print("exam timetabling");
+
+  std::printf("\nBoth schedules are clash-free and respect every course's "
+              "availability list;\nthe distributed one costs a constant "
+              "number of communication rounds.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Frequency assignment: the classic list-coloring application the paper's
+// introduction motivates. Radio towers in the plane interfere when close
+// (unit-disk interference graph); each tower is licensed for its own set of
+// channels; adjacent towers must broadcast on different channels.
+//
+//   ./frequency_assignment [--towers=3000] [--radius=0.02] [--channels=4096]
+//
+// Builds a random geometric graph, gives each tower deg+1 licensed channels
+// (a (deg+1)-list coloring instance — the hardest variant the paper
+// handles), solves it with deterministic ColorReduce, and prints spectrum
+// statistics.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/color_reduce.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace detcol;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const NodeId towers = static_cast<NodeId>(args.get_uint("towers", 3000));
+  const double radius = args.get_double("radius", 0.02);
+  const Color channels = args.get_uint("channels", 4096);
+
+  const Graph g = gen_geometric(towers, radius, /*seed=*/2718);
+  std::printf("interference graph: %u towers, %zu interference pairs, "
+              "max interference degree %u\n",
+              g.num_nodes(), g.num_edges(), g.max_degree());
+
+  // Each tower's license: deg+1 channels from the shared band. This is the
+  // (deg+1)-list coloring problem — node palettes differ in size and
+  // content, exactly what Algorithm 1 supports.
+  const PaletteSet licenses =
+      PaletteSet::deg_plus_one_lists(g, channels, /*seed=*/5);
+
+  const ColorReduceResult r = color_reduce(g, licenses);
+  const VerifyResult v = verify_coloring(g, licenses, r.coloring);
+  if (!v.ok) {
+    std::fprintf(stderr, "assignment invalid: %s\n", v.issue.c_str());
+    return 1;
+  }
+
+  // Spectrum usage statistics.
+  std::map<Color, std::uint64_t> usage;
+  for (const Color c : r.coloring.color) ++usage[c];
+  std::uint64_t max_reuse = 0;
+  for (const auto& [c, k] : usage) max_reuse = std::max(max_reuse, k);
+
+  Table t({"metric", "value"});
+  t.row().cell("towers assigned").cell(std::uint64_t{towers});
+  t.row().cell("distinct channels used").cell(usage.size());
+  t.row().cell("max reuse of one channel").cell(max_reuse);
+  t.row().cell("model rounds").cell(r.ledger.total_rounds());
+  t.row().cell("recursion depth").cell(r.max_depth_reached);
+  t.print("frequency assignment (deterministic, conflict-free by proof)");
+
+  std::printf("\nEvery tower broadcasts on a licensed channel and no two "
+              "interfering towers share one.\n");
+  return 0;
+}

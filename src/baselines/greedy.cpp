@@ -1,0 +1,17 @@
+#include "baselines/greedy.hpp"
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace detcol {
+
+GreedyResult greedy_baseline(const Graph& g, const PaletteSet& palettes) {
+  GreedyResult r(g.num_nodes());
+  WallTimer timer;
+  const bool ok = greedy_color_all(g, palettes, r.coloring);
+  DC_CHECK(ok, "greedy baseline failed: some palette not larger than degree");
+  r.seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace detcol

@@ -1,0 +1,21 @@
+// Centralized sequential greedy — the correctness reference and wall-clock
+// lower bound for all distributed algorithms in the suite.
+#pragma once
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "graph/palette.hpp"
+
+namespace detcol {
+
+struct GreedyResult {
+  Coloring coloring;
+  double seconds = 0.0;
+  explicit GreedyResult(NodeId n) : coloring(n) {}
+};
+
+/// Degree-descending sequential greedy list coloring. Always succeeds when
+/// p(v) > d(v) for all v.
+GreedyResult greedy_baseline(const Graph& g, const PaletteSet& palettes);
+
+}  // namespace detcol

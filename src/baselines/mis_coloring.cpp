@@ -1,0 +1,31 @@
+#include "baselines/mis_coloring.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+MisBaselineResult mis_baseline_color(const Graph& g,
+                                     const PaletteSet& palettes,
+                                     const MisParams& params,
+                                     std::uint64_t salt) {
+  MisBaselineResult r(g.num_nodes());
+  std::vector<std::vector<Color>> pals(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto span = palettes.palette(v);
+    pals[v].assign(span.begin(), span.end());
+  }
+  MisColorResult mis = mis_list_color(g, pals, params, salt);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DC_CHECK(mis.color[v] != Coloring::kUncolored, "MIS left node ", v);
+    r.coloring.color[v] = mis.color[v];
+  }
+  r.phases = mis.phases;
+  r.rounds = mis.ledger.total_rounds();
+  r.words = mis.ledger.total_words();
+  r.seed_evaluations = mis.seed_evaluations;
+  return r;
+}
+
+}  // namespace detcol

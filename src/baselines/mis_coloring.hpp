@@ -1,0 +1,31 @@
+// Deterministic MIS-reduction coloring in the CONGESTED CLIQUE — the
+// pre-paper deterministic approach (cf. Censor-Hillel et al. [5], who solve
+// coloring via MIS with derandomized Luby steps in O(log Δ) rounds). Serves
+// as the deterministic baseline whose round count the paper's O(1) algorithm
+// beats.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "graph/palette.hpp"
+#include "lowspace/mis.hpp"
+
+namespace detcol {
+
+struct MisBaselineResult {
+  Coloring coloring;
+  unsigned phases = 0;
+  std::uint64_t rounds = 0;  // model rounds: per phase O(1) + seed schedule
+  std::uint64_t words = 0;   // message words moved
+  std::uint64_t seed_evaluations = 0;
+  explicit MisBaselineResult(NodeId n) : coloring(n) {}
+};
+
+MisBaselineResult mis_baseline_color(const Graph& g,
+                                     const PaletteSet& palettes,
+                                     const MisParams& params = {},
+                                     std::uint64_t salt = 0x4D15C010ULL);
+
+}  // namespace detcol

@@ -1,0 +1,67 @@
+#include "baselines/random_trial.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+
+RandomTrialResult random_trial_color(const Graph& g,
+                                     const PaletteSet& palettes,
+                                     std::uint64_t seed,
+                                     std::uint64_t max_rounds) {
+  const NodeId n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    DC_CHECK(palettes.palette_size(v) > g.degree(v),
+             "random trial needs p(v) > d(v) at node ", v);
+  }
+  RandomTrialResult r(n);
+  Xoshiro256 rng(seed);
+  std::vector<Color> proposal(n, Coloring::kUncolored);
+  std::vector<Color> avail;
+  std::unordered_set<Color> forbidden;
+
+  std::size_t uncolored = n;
+  while (uncolored > 0) {
+    DC_CHECK(r.trial_rounds < max_rounds,
+             "random trial failed to converge in ", max_rounds, " rounds");
+    // Propose.
+    for (NodeId v = 0; v < n; ++v) {
+      if (r.coloring.is_colored(v)) continue;
+      forbidden.clear();
+      for (const NodeId u : g.neighbors(v)) {
+        if (r.coloring.is_colored(u)) forbidden.insert(r.coloring.color[u]);
+      }
+      avail.clear();
+      for (const Color c : palettes.palette(v)) {
+        if (forbidden.find(c) == forbidden.end()) avail.push_back(c);
+      }
+      DC_CHECK(!avail.empty(), "no available color — invariant broken");
+      proposal[v] = avail[rng.next_below(avail.size())];
+      r.words_sent += g.degree(v);  // announce proposal to neighbors
+    }
+    // Commit: keep unless an uncolored neighbor proposed the same color.
+    for (NodeId v = 0; v < n; ++v) {
+      if (r.coloring.is_colored(v)) continue;
+      bool clash = false;
+      for (const NodeId u : g.neighbors(v)) {
+        if (!r.coloring.is_colored(u) && proposal[u] == proposal[v]) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        r.coloring.color[v] = proposal[v];
+        --uncolored;
+        r.words_sent += g.degree(v);  // announce commit
+      }
+    }
+    ++r.trial_rounds;
+    r.model_rounds += 2;
+  }
+  return r;
+}
+
+}  // namespace detcol

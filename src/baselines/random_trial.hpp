@@ -1,0 +1,35 @@
+// Randomized iterated color trial — the classic O(log n)-round randomized
+// CONGESTED CLIQUE baseline the paper's deterministic result is measured
+// against.
+//
+// Per trial round: every uncolored node picks a uniformly random color from
+// its palette minus the colors of already-colored neighbors; it keeps the
+// color unless an uncolored neighbor picked the same one this round. Each
+// trial costs two model rounds (propose to neighbors, commit): messages go
+// only along input-graph edges, so bandwidth is trivially respected; words
+// are counted exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "graph/palette.hpp"
+
+namespace detcol {
+
+struct RandomTrialResult {
+  Coloring coloring;
+  std::uint64_t trial_rounds = 0;  // propose/commit iterations
+  std::uint64_t model_rounds = 0;  // 2 per trial
+  std::uint64_t words_sent = 0;    // per-edge proposal/commit words
+  explicit RandomTrialResult(NodeId n) : coloring(n) {}
+};
+
+/// Deterministic given `seed`. Requires p(v) > d(v) for all v.
+RandomTrialResult random_trial_color(const Graph& g,
+                                     const PaletteSet& palettes,
+                                     std::uint64_t seed,
+                                     std::uint64_t max_rounds = 4096);
+
+}  // namespace detcol

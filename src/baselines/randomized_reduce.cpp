@@ -1,0 +1,20 @@
+#include "baselines/randomized_reduce.hpp"
+
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace detcol {
+
+ColorReduceResult randomized_reduce(const Graph& g, const PaletteSet& palettes,
+                                    std::uint64_t seed_index,
+                                    ColorReduceConfig config) {
+  config.part.seed.strategy = SeedStrategy::kThresholdScan;
+  config.part.seed.scan_max_seeds = 1;
+  // Accept whatever the single random-like seed produces.
+  config.part.g0_budget = std::numeric_limits<double>::infinity();
+  config.salt = sub_seed(0xBADC0FFEEULL, seed_index);
+  return color_reduce(g, palettes, config);
+}
+
+}  // namespace detcol

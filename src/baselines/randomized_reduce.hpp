@@ -1,0 +1,22 @@
+// Randomized ColorReduce ablation: the same recursive partitioning as
+// Algorithm 1 but with the *first* enumerated seed used unconditionally —
+// i.e. the randomized procedure of Section 3.2 without the derandomized
+// quality guarantee of Lemma 3.9. Benches compare its G0 sizes, bad-node
+// counts and rounds against the derandomized algorithm (the cost of
+// determinism, and what the seed search actually buys).
+#pragma once
+
+#include <cstdint>
+
+#include "core/color_reduce.hpp"
+
+namespace detcol {
+
+/// Runs color_reduce with seed selection disabled (one seed, no threshold).
+/// `seed_index` varies the single seed used, playing the role of the random
+/// draw.
+ColorReduceResult randomized_reduce(const Graph& g, const PaletteSet& palettes,
+                                    std::uint64_t seed_index,
+                                    ColorReduceConfig config = {});
+
+}  // namespace detcol

@@ -1,0 +1,60 @@
+// Good/bad classification (Definition 3.1) for a candidate hash pair.
+//
+// Given an instance, a pair (h1: nodes -> bins, h2: colors -> color bins) and
+// the partition parameters, computes for every node its bin, its within-bin
+// degree d', its within-bin palette size p' (for color bins), applies the
+// paper's goodness conditions, and produces the cost values that drive seed
+// selection: the paper's q (Equation 1) and the size-based acceptance cost
+// (bad subgraph words) that Corollary 3.10 is really about.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/palette.hpp"
+#include "hashing/kwise.hpp"
+#include "core/params.hpp"
+
+namespace detcol {
+
+/// A coloring (sub)instance: an induced graph over original node ids plus the
+/// paper's degree proxy ell. Palettes live in the driver's global PaletteSet,
+/// keyed by original id.
+struct Instance {
+  Graph graph;                // induced subgraph, local ids
+  std::vector<NodeId> orig;   // local -> original node id
+  double ell = 0.0;
+
+  NodeId n() const { return graph.num_nodes(); }
+  std::size_t size_words() const { return graph.size_words(); }
+};
+
+struct Classification {
+  std::uint64_t num_bins = 0;       // b (node bins; color bins = b-1)
+  std::vector<std::uint32_t> bin_of;   // per local node: 0 = bad, 1..b = bin
+  std::vector<std::uint32_t> deg_in_bin;   // d'(v)
+  std::vector<std::uint64_t> pal_in_bin;   // p'(v) for bins 1..b-1, else 0
+
+  std::uint64_t num_bad_nodes = 0;
+  std::uint64_t num_bad_bins = 0;
+  std::uint64_t reclassified = 0;   // good-by-Def-3.1 but p' <= d' guards
+  std::uint64_t bad_graph_words = 0;  // sum over bad v of (1 + d(v))
+  std::vector<std::uint64_t> bin_sizes;  // good nodes per bin, index 0..b-1
+
+  /// Paper cost (Equation 1): |bad nodes| + n * |bad bins|.
+  double cost_q = 0.0;
+  /// Acceptance cost: bad-subgraph words + n * |bad bins| (what must be O(n)
+  /// for the collect of G0 to be legal, Corollary 3.10).
+  double cost_size = 0.0;
+};
+
+/// Evaluate Definition 3.1 for the pair (h1, h2) on `inst`.
+/// `n_orig` is the original graph's node count (the capital-N of the bin
+/// capacity and of the cost weighting).
+Classification classify(const Instance& inst, const PaletteSet& palettes,
+                        const KWiseHash& h1, const KWiseHash& h2,
+                        std::uint64_t n_orig, const PartitionParams& params);
+
+}  // namespace detcol

@@ -1,0 +1,250 @@
+#include "core/color_reduce.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/partition.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+namespace {
+
+/// Words needed to collect an instance onto one machine: the graph plus
+/// palettes truncated to deg+1 (Theorem 1.3's trick: dropping surplus colors
+/// before a local solve is always safe).
+std::uint64_t collect_words(const Instance& inst, const PaletteSet& pal) {
+  std::uint64_t w = inst.size_words();
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    w += std::min<std::uint64_t>(pal.palette_size(inst.orig[v]),
+                                 std::uint64_t{inst.graph.degree(v)} + 1);
+  }
+  return w;
+}
+
+class Driver {
+ public:
+  Driver(const Graph& g, const PaletteSet& palettes,
+         const ColorReduceConfig& cfg)
+      : g_(g), pal_(palettes), cfg_(cfg), result_(g.num_nodes()) {}
+
+  ColorReduceResult run() {
+    Instance root;
+    root.orig.resize(g_.num_nodes());
+    std::iota(root.orig.begin(), root.orig.end(), NodeId{0});
+    root.graph = g_;
+    root.ell = std::max(1.0, static_cast<double>(g_.max_degree()));
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      DC_CHECK(pal_.palette_size(v) > g_.degree(v),
+               "node ", v, " has palette of size ", pal_.palette_size(v),
+               " but degree ", g_.degree(v),
+               " — (deg+1)-list precondition violated");
+    }
+    result_.explicit_palette_words = pal_.total_size();
+    if (cfg_.mirror_implicit) {
+      // Theorem 1.3 applies to the uniform-palette case only: every node
+      // must hold exactly {0, ..., Δ}.
+      const Color k = static_cast<Color>(g_.max_degree()) + 1;
+      for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+        const auto p = pal_.palette(v);
+        DC_CHECK(p.size() == k,
+                 "mirror_implicit requires uniform [Δ+1] palettes");
+        for (Color c = 0; c < k; ++c) {
+          DC_CHECK(p[c] == c,
+                   "mirror_implicit requires uniform [Δ+1] palettes");
+        }
+      }
+      result_.implicit_store =
+          std::make_unique<ImplicitPaletteStore>(g_.num_nodes(), k);
+    }
+    result_.ledger = recurse(root, 0, cfg_.salt, result_.root);
+    return std::move(result_);
+  }
+
+ private:
+  CliqueSim make_sim() const {
+    return CliqueSim(std::max<std::uint64_t>(1, g_.num_nodes()), cfg_.costs,
+                     cfg_.route_slack, cfg_.collect_slack);
+  }
+
+  /// Collect `inst` onto one machine and greedily color it, consulting
+  /// already-colored neighbors in the original graph.
+  void collect_and_color(const Instance& inst, CliqueSim& sim) {
+    const std::uint64_t words = collect_words(inst, pal_);
+    sim.collect(words, "collect-color");
+    result_.peak_collect_words =
+        std::max(result_.peak_collect_words, sim.peak_collect_words());
+    // Color highest-degree-first within the instance.
+    std::vector<NodeId> order(inst.orig);
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      const auto da = g_.degree(a), db = g_.degree(b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+    const bool ok = greedy_color(g_, pal_, order, result_.coloring);
+    DC_CHECK(ok, "local greedy ran out of colors — the p(v) > d(v) "
+                 "invariant was broken upstream");
+    // Announce the new colors to all neighbors (one word per node).
+    if (inst.n() > 0) {
+      sim.lenzen_route(inst.n(), 1 + inst.graph.max_degree(),
+                       "color-announce");
+    }
+    ++result_.num_collects;
+  }
+
+  /// Remove colors of already-colored original-graph neighbors from the
+  /// palettes of `nodes` (the paper's "update color palettes" steps).
+  void update_palettes(std::span<const NodeId> nodes, CliqueSim& sim) {
+    std::uint64_t touched = 0;
+    for (const NodeId v : nodes) {
+      for (const NodeId u : g_.neighbors(v)) {
+        if (result_.coloring.is_colored(u)) {
+          pal_.remove_color(v, result_.coloring.color[u]);
+          if (result_.implicit_store) {
+            result_.implicit_store->remove_color(v,
+                                                 result_.coloring.color[u]);
+          }
+          ++touched;
+        }
+      }
+    }
+    if (!nodes.empty()) {
+      sim.lenzen_route(std::max<std::uint64_t>(1, touched),
+                       1 + g_.max_degree(), "palette-update");
+    }
+  }
+
+  Instance make_child(const Instance& inst,
+                      std::span<const NodeId> local_nodes,
+                      double ell) const {
+    Instance child;
+    child.graph = induced_subgraph(inst.graph, local_nodes);
+    child.orig.reserve(local_nodes.size());
+    for (const NodeId l : local_nodes) child.orig.push_back(inst.orig[l]);
+    child.ell = ell;
+    return child;
+  }
+
+  RoundLedger recurse(const Instance& inst, unsigned depth,
+                      std::uint64_t salt, CallStats& stats) {
+    result_.max_depth_reached = std::max(result_.max_depth_reached, depth);
+    stats.depth = depth;
+    stats.n = inst.n();
+    stats.m = inst.graph.num_edges();
+    stats.max_deg = inst.n() > 0 ? inst.graph.max_degree() : 0;
+    stats.ell = inst.ell;
+
+    CliqueSim sim = make_sim();
+    if (inst.n() == 0) return sim.ledger();
+
+    const auto& p = cfg_.part;
+    const double collect_limit =
+        p.collect_factor * static_cast<double>(g_.num_nodes());
+    const bool small = static_cast<double>(collect_words(inst, pal_)) <=
+                       collect_limit;
+    if (small || depth >= p.max_depth || inst.ell < p.min_ell) {
+      if (!small) {
+        // Expected when ell bottoms out before the size threshold; the
+        // collect-capacity check still guards the model limit.
+        DC_LOG_DEBUG << "forced collect at depth " << depth << " (n="
+                     << inst.n() << ", ell=" << inst.ell << ")";
+      }
+      stats.collected = true;
+      collect_and_color(inst, sim);
+      return sim.ledger();
+    }
+
+    // --- Partition (Algorithm 2) with derandomized seeds (Lemma 3.9). ---
+    PartitionResult pr =
+        partition(inst, pal_, g_.num_nodes(), p, &sim, salt);
+    ++result_.num_partitions;
+    result_.total_seed_evaluations += pr.seed.evaluations;
+    stats.num_bins = pr.num_bins;
+    stats.bad_nodes = pr.cls.num_bad_nodes;
+    stats.bad_bins = pr.cls.num_bad_bins;
+    stats.reclassified = pr.cls.reclassified;
+    stats.g0_words = pr.cls.bad_graph_words;
+    stats.seed_evaluations = pr.seed.evaluations;
+    stats.seed_met_threshold = pr.seed.met_threshold;
+
+    const std::uint64_t b = pr.num_bins;
+    std::vector<std::vector<NodeId>> bin_local(b);  // index 0..b-1 = bins 1..b
+    std::vector<NodeId> bad_local;
+    for (NodeId v = 0; v < inst.n(); ++v) {
+      const auto bin = pr.cls.bin_of[v];
+      if (bin == 0) {
+        bad_local.push_back(v);
+      } else {
+        bin_local[bin - 1].push_back(v);
+      }
+    }
+
+    // Restrict palettes of the color bins 1..b-1 to their h2 share.
+    std::uint32_t hash_id = 0;
+    if (result_.implicit_store) {
+      hash_id = result_.implicit_store->add_hash(pr.h2);
+    }
+    for (std::uint64_t i = 0; i + 1 < b; ++i) {
+      for (const NodeId l : bin_local[i]) {
+        const NodeId v = inst.orig[l];
+        pal_.restrict(v, [&](Color c) { return pr.h2(c) + 1 == i + 1; });
+        if (result_.implicit_store) {
+          result_.implicit_store->push_restriction(
+              v, hash_id, static_cast<std::uint32_t>(i + 1));
+        }
+      }
+    }
+
+    // Recurse on the color bins in parallel (disjoint palettes).
+    std::vector<RoundLedger> group;
+    group.reserve(b - 1);
+    if (cfg_.record_stats) stats.children.reserve(b);
+    for (std::uint64_t i = 0; i + 1 < b; ++i) {
+      Instance child = make_child(inst, bin_local[i], pr.ell_next);
+      CallStats child_stats;
+      RoundLedger led =
+          recurse(child, depth + 1, sub_seed(salt, i + 1), child_stats);
+      group.push_back(std::move(led));
+      if (cfg_.record_stats) stats.children.push_back(std::move(child_stats));
+    }
+
+    // Last bin: update palettes, then recurse.
+    Instance last = make_child(inst, bin_local[b - 1], pr.ell_next);
+    {
+      std::vector<NodeId> orig_nodes(last.orig);
+      update_palettes(orig_nodes, sim);
+    }
+    CallStats last_stats;
+    RoundLedger last_led =
+        recurse(last, depth + 1, sub_seed(salt, b + 1), last_stats);
+    if (cfg_.record_stats) stats.children.push_back(std::move(last_stats));
+
+    // G0 (bad nodes): collect and color locally. Greedy consults colored
+    // neighbors directly, so the palette update is implicit.
+    if (!bad_local.empty()) {
+      Instance g0 = make_child(inst, bad_local, inst.ell);
+      collect_and_color(g0, sim);
+    }
+
+    RoundLedger total = sim.ledger();
+    total.merge_parallel(group);
+    total.merge_sequential(last_led);
+    return total;
+  }
+
+  const Graph& g_;
+  PaletteSet pal_;  // mutated during the run (restrictions + updates)
+  ColorReduceConfig cfg_;
+  ColorReduceResult result_;
+};
+
+}  // namespace
+
+ColorReduceResult color_reduce(const Graph& g, const PaletteSet& palettes,
+                               const ColorReduceConfig& config) {
+  Driver driver(g, palettes, config);
+  return driver.run();
+}
+
+}  // namespace detcol

@@ -1,0 +1,66 @@
+#include "core/implicit_palette.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+ImplicitPaletteStore::ImplicitPaletteStore(NodeId num_nodes, Color num_colors)
+    : num_colors_(num_colors), chain_(num_nodes), removed_(num_nodes) {
+  DC_CHECK(num_colors >= 1, "empty color space");
+}
+
+std::uint32_t ImplicitPaletteStore::add_hash(const KWiseHash& h2) {
+  hashes_.push_back(h2);
+  return static_cast<std::uint32_t>(hashes_.size() - 1);
+}
+
+void ImplicitPaletteStore::push_restriction(NodeId v, std::uint32_t hash_id,
+                                            std::uint32_t bin) {
+  DC_CHECK(hash_id < hashes_.size(), "unknown hash id");
+  chain_[v].push_back({hash_id, bin});
+}
+
+void ImplicitPaletteStore::remove_color(NodeId v, Color c) {
+  auto& r = removed_[v];
+  const auto it = std::lower_bound(r.begin(), r.end(), c);
+  if (it == r.end() || *it != c) r.insert(it, c);
+}
+
+bool ImplicitPaletteStore::contains(NodeId v, Color c) const {
+  if (c >= num_colors_) return false;
+  if (std::binary_search(removed_[v].begin(), removed_[v].end(), c)) {
+    return false;
+  }
+  for (const auto& step : chain_[v]) {
+    if (hashes_[step.hash_id](c) + 1 != step.bin) return false;
+  }
+  return true;
+}
+
+std::vector<Color> ImplicitPaletteStore::materialize(NodeId v) const {
+  std::vector<Color> out;
+  for (Color c = 0; c < num_colors_; ++c) {
+    if (contains(v, c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t ImplicitPaletteStore::palette_size(NodeId v) const {
+  std::uint64_t s = 0;
+  for (Color c = 0; c < num_colors_; ++c) {
+    if (contains(v, c)) ++s;
+  }
+  return s;
+}
+
+std::uint64_t ImplicitPaletteStore::space_words() const {
+  std::uint64_t w = chain_.size();  // chain heads
+  for (const auto& h : hashes_) w += h.independence() + 1;
+  for (const auto& c : chain_) w += c.size();
+  for (const auto& r : removed_) w += r.size();
+  return w;
+}
+
+}  // namespace detcol

@@ -1,0 +1,63 @@
+// Implicit palette representation for (Δ+1)-coloring (Theorem 1.3 /
+// Section 3.6).
+//
+// When all initial palettes are [Δ+1], storing them explicitly costs
+// Θ(nΔ) global words. The paper instead stores, per node, (a) the chain of
+// (hash, bin) restrictions applied by ancestor Partition calls — the hash
+// itself is shared, O(log n) bits each — and (b) the explicit set of colors
+// removed because a neighbor used them (at most one per neighbor, O(m)
+// total). Palettes remain fully query-able; total space drops to O(m + n).
+//
+// ColorReduce can mirror its palette operations into this store
+// (ColorReduceConfig::mirror_implicit) so equivalence and footprint are
+// measured on real runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hashing/kwise.hpp"
+
+namespace detcol {
+
+class ImplicitPaletteStore {
+ public:
+  /// All nodes start with palette {0, ..., num_colors-1}.
+  ImplicitPaletteStore(NodeId num_nodes, Color num_colors);
+
+  /// Register a shared hash function (one per Partition call); returns its id.
+  std::uint32_t add_hash(const KWiseHash& h2);
+
+  /// Record that node v's palette was restricted to colors c with
+  /// h2(c)+1 == bin (bin is 1-based, matching the classifier).
+  void push_restriction(NodeId v, std::uint32_t hash_id, std::uint32_t bin);
+
+  /// Record that color c was used by a neighbor of v.
+  void remove_color(NodeId v, Color c);
+
+  /// Materialize the current palette of v (O(num_colors) scan).
+  std::vector<Color> materialize(NodeId v) const;
+
+  std::uint64_t palette_size(NodeId v) const;
+  bool contains(NodeId v, Color c) const;
+
+  /// Words of storage actually used: shared hash coefficients + per-node
+  /// restriction chains + per-node removed-color lists + n chain heads.
+  std::uint64_t space_words() const;
+
+  Color num_colors() const { return num_colors_; }
+
+ private:
+  struct Restriction {
+    std::uint32_t hash_id;
+    std::uint32_t bin;  // 1-based
+  };
+
+  Color num_colors_;
+  std::vector<KWiseHash> hashes_;
+  std::vector<std::vector<Restriction>> chain_;   // per node
+  std::vector<std::vector<Color>> removed_;       // per node, sorted
+};
+
+}  // namespace detcol

@@ -1,0 +1,68 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/math.hpp"
+
+namespace detcol {
+
+PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
+                          std::uint64_t n_orig, const PartitionParams& params,
+                          CliqueSim* sim, std::uint64_t salt) {
+  const std::uint64_t b = num_bins(inst.ell, params);
+  DC_CHECK(b >= 2, "partition needs at least 2 bins");
+  const unsigned c = params.independence;
+  const unsigned h1_bits = KWiseHash::seed_bits(c);
+  const unsigned h2_bits = KWiseHash::seed_bits(c);
+  const unsigned total_bits = h1_bits + h2_bits;
+
+  auto build_pair = [&](const SeedBits& s) {
+    KWiseHash h1(s.word_range(0, c), b);
+    KWiseHash h2(s.word_range(c, c), b - 1);
+    return std::make_pair(std::move(h1), std::move(h2));
+  };
+
+  // Acceptance: no bad bins and |G0| within the O(n) budget of Cor. 3.10.
+  const double threshold =
+      params.g0_budget * static_cast<double>(n_orig);
+  SeedCostFn cost = [&](const SeedBits& s) {
+    auto [h1, h2] = build_pair(s);
+    return classify(inst, palettes, h1, h2, n_orig, params).cost_size;
+  };
+
+  SeedSelectResult sel =
+      select_seed(total_bits, cost, threshold, params.seed, salt);
+  if (!sel.met_threshold) {
+    DC_LOG_WARN << "partition seed search exhausted budget (best cost "
+                << sel.cost << ", threshold " << threshold
+                << ", n=" << inst.n() << ", ell=" << inst.ell << ")";
+  }
+
+  auto [h1, h2] = build_pair(sel.seed);
+  Classification cls = classify(inst, palettes, h1, h2, n_orig, params);
+
+  if (sim != nullptr) {
+    // The MCE schedule: per chunk, every machine contributes one partial
+    // conditional expectation per candidate; aggregated via Lemma 2.1.
+    const std::uint64_t chunks =
+        ceil_div(total_bits, params.seed.chunk_bits);
+    for (std::uint64_t i = 0; i < chunks; ++i) {
+      sim->aggregate(std::uint64_t{1} << params.seed.chunk_bits,
+                     "seed-selection");
+    }
+    sim->broadcast(ceil_div(total_bits, 64), "seed-selection");
+    // Announce bins / reshuffle the instance into per-bin machine groups.
+    // Each node moves its own row: 1 + deg(v) words.
+    sim->lenzen_route(inst.size_words(),
+                      std::uint64_t{1} + inst.graph.max_degree(),
+                      "partition-route");
+  }
+
+  PartitionResult out{b, std::move(cls), std::move(sel), std::move(h2),
+                      next_ell(inst.ell, params)};
+  return out;
+}
+
+}  // namespace detcol

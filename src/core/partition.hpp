@@ -1,0 +1,39 @@
+// Algorithm 2 (Partition) with derandomized seed selection (Lemma 3.9).
+//
+// partition() selects hash functions h1 (nodes -> b bins) and h2 (colors ->
+// b-1 bins) deterministically, so that there are no bad bins and the bad-node
+// subgraph G0 is O(n) words (Corollary 3.10). It returns the node assignment
+// plus the chosen h2, which the ColorReduce driver uses to restrict palettes
+// of the color bins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/params.hpp"
+#include "derand/strategies.hpp"
+#include "graph/palette.hpp"
+#include "hashing/kwise.hpp"
+#include "sim/clique_sim.hpp"
+
+namespace detcol {
+
+struct PartitionResult {
+  std::uint64_t num_bins = 0;  // b; color bins are 1..b-1, last bin is b
+  Classification cls;          // classification under the chosen seed
+  SeedSelectResult seed;       // chosen seed + selection telemetry
+  KWiseHash h2;                // color hash (range b-1) for palette restriction
+  double ell_next = 0.0;       // ell' for the recursive calls
+};
+
+/// Runs seed selection for Partition(G, ell) on `inst` and returns the
+/// chosen partition. Charges the seed-selection round schedule and the
+/// instance-routing cost to `sim` if non-null. `salt` makes sibling calls
+/// deterministic but distinct.
+PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
+                          std::uint64_t n_orig, const PartitionParams& params,
+                          CliqueSim* sim, std::uint64_t salt);
+
+}  // namespace detcol

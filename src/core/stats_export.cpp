@@ -1,0 +1,93 @@
+#include "core/stats_export.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace detcol {
+namespace {
+
+void emit_call_stats(JsonWriter& w, const CallStats& s) {
+  w.begin_object();
+  w.key("depth").value(s.depth);
+  w.key("n").value(s.n);
+  w.key("m").value(s.m);
+  w.key("max_deg").value(s.max_deg);
+  w.key("ell").value(s.ell);
+  w.key("collected").value(s.collected);
+  if (!s.collected) {
+    w.key("num_bins").value(s.num_bins);
+    w.key("bad_nodes").value(s.bad_nodes);
+    w.key("bad_bins").value(s.bad_bins);
+    w.key("reclassified").value(s.reclassified);
+    w.key("g0_words").value(s.g0_words);
+    w.key("seed_evaluations").value(s.seed_evaluations);
+    w.key("seed_met_threshold").value(s.seed_met_threshold);
+  }
+  w.key("children").begin_array();
+  for (const auto& c : s.children) emit_call_stats(w, c);
+  w.end_array();
+  w.end_object();
+}
+
+void emit_ledger(JsonWriter& w, const RoundLedger& ledger) {
+  w.begin_object();
+  w.key("total_rounds").value(ledger.total_rounds());
+  w.key("total_words").value(ledger.total_words());
+  w.key("phases").begin_object();
+  for (const auto& [name, cost] : ledger.by_phase()) {
+    w.key(name).begin_object();
+    w.key("rounds").value(cost.rounds);
+    w.key("words").value(cost.words);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string call_stats_to_json(const CallStats& stats) {
+  JsonWriter w;
+  emit_call_stats(w, stats);
+  return w.str();
+}
+
+std::string ledger_to_json(const RoundLedger& ledger) {
+  JsonWriter w;
+  emit_ledger(w, ledger);
+  return w.str();
+}
+
+std::string result_to_json(const ColorReduceResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("max_depth_reached").value(result.max_depth_reached);
+  w.key("num_partitions").value(result.num_partitions);
+  w.key("num_collects").value(result.num_collects);
+  w.key("peak_collect_words").value(result.peak_collect_words);
+  w.key("total_seed_evaluations").value(result.total_seed_evaluations);
+  w.key("explicit_palette_words").value(result.explicit_palette_words);
+  if (result.implicit_store) {
+    w.key("implicit_palette_words")
+        .value(result.implicit_store->space_words());
+  }
+  w.key("num_colored")
+      .value(static_cast<std::uint64_t>(result.coloring.num_colored()));
+  w.key("ledger");
+  emit_ledger(w, result.ledger);
+  w.key("stats");
+  emit_call_stats(w, result.root);
+  w.end_object();
+  return w.str();
+}
+
+void write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream os(path);
+  DC_CHECK(os.good(), "cannot open ", path, " for writing");
+  os << json << '\n';
+  DC_CHECK(os.good(), "write to ", path, " failed");
+}
+
+}  // namespace detcol

@@ -1,0 +1,24 @@
+// JSON export of run statistics — the machine-readable counterpart of the
+// bench tables, for downstream plotting.
+#pragma once
+
+#include <string>
+
+#include "core/color_reduce.hpp"
+#include "sim/ledger.hpp"
+
+namespace detcol {
+
+/// Full CallStats recursion tree as nested JSON objects.
+std::string call_stats_to_json(const CallStats& stats);
+
+/// Ledger totals and per-phase breakdown.
+std::string ledger_to_json(const RoundLedger& ledger);
+
+/// Everything about a ColorReduce run (summary + ledger + stats tree).
+std::string result_to_json(const ColorReduceResult& result);
+
+/// Write a JSON document to a file (throws CheckError on I/O failure).
+void write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace detcol

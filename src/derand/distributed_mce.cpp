@@ -1,0 +1,107 @@
+#include "derand/distributed_mce.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+constexpr double kFixedScale = 1024.0;  // 10 fractional bits
+
+std::uint64_t encode(double v) {
+  DC_CHECK(v >= 0.0, "cost components must be non-negative");
+  return static_cast<std::uint64_t>(v * kFixedScale + 0.5);
+}
+
+}  // namespace
+
+DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
+                                     unsigned chunk_bits,
+                                     const NodeCostFn& node_cost,
+                                     unsigned samples,
+                                     std::uint64_t salt) {
+  const std::uint32_t n = net.n();
+  DC_CHECK(chunk_bits >= 1 && chunk_bits <= 20, "bad chunk size");
+  const std::uint64_t candidates = std::uint64_t{1} << chunk_bits;
+  DC_CHECK(candidates <= n,
+           "2^chunk_bits candidates must not exceed n (delta log n bits per "
+           "chunk, Section 2.4)");
+  DC_CHECK(samples >= 1, "need at least one completion sample");
+
+  DistributedMceResult result{SeedBits(num_bits)};
+  SeedBits prefix(num_bits);
+  const std::uint64_t start_round = net.round();
+
+  unsigned fixed = 0;
+  while (fixed < num_bits) {
+    const unsigned count = std::min(chunk_bits, num_bits - fixed);
+    const std::uint64_t cand_here = std::uint64_t{1} << count;
+
+    // Each node evaluates its local estimate for every candidate (local
+    // computation is free in the model).
+    std::vector<std::vector<std::uint64_t>> contrib(
+        n, std::vector<std::uint64_t>(cand_here, 0));
+    const bool last_chunk = fixed + count >= num_bits;
+    for (std::uint64_t cand = 0; cand < cand_here; ++cand) {
+      SeedBits base = prefix;
+      base.set_bits(fixed, count, cand);
+      for (unsigned s = 0; s < (last_chunk ? 1u : samples); ++s) {
+        SeedBits completion = base;
+        if (!last_chunk) {
+          completion.fill_suffix(fixed + count, salt ^ (fixed * 0x9E37ULL),
+                                 s);
+        }
+        for (std::uint32_t v = 0; v < n; ++v) {
+          contrib[v][cand] += encode(node_cost(v, completion));
+        }
+      }
+    }
+
+    // Round 1: node v ships candidate j's contribution to aggregator j.
+    for (std::uint32_t v = 0; v < n; ++v) {
+      for (std::uint64_t j = 0; j < cand_here; ++j) {
+        if (static_cast<std::uint32_t>(j) == v) continue;  // kept locally
+        net.send(v, static_cast<std::uint32_t>(j), contrib[v][j]);
+      }
+    }
+    net.deliver();
+    std::vector<std::uint64_t> totals(cand_here, 0);
+    for (std::uint64_t j = 0; j < cand_here; ++j) {
+      std::uint64_t sum = contrib[static_cast<std::uint32_t>(j)][j];
+      for (const auto& m :
+           net.inbox(static_cast<std::uint32_t>(j))) {
+        sum += m.payload;
+      }
+      totals[j] = sum;
+    }
+
+    // Round 2: aggregator j broadcasts its total; every node now knows all
+    // candidate totals and applies the same argmin.
+    for (std::uint64_t j = 0; j < cand_here; ++j) {
+      const auto src = static_cast<std::uint32_t>(j);
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (v != src) net.send(src, v, totals[j]);
+      }
+    }
+    net.deliver();
+
+    const std::uint64_t best = static_cast<std::uint64_t>(
+        std::distance(totals.begin(),
+                      std::min_element(totals.begin(), totals.end())));
+    prefix.set_bits(fixed, count, best);
+    fixed += count;
+    ++result.chunks;
+    result.final_estimate =
+        static_cast<double>(totals[best]) /
+        (kFixedScale * (last_chunk ? 1.0 : static_cast<double>(samples)));
+  }
+
+  result.seed = prefix;
+  result.network_rounds = net.round() - start_round;
+  return result;
+}
+
+}  // namespace detcol

@@ -1,0 +1,68 @@
+#include "derand/seedbits.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+
+SeedBits::SeedBits(unsigned num_bits)
+    : num_bits_(num_bits), words_(ceil_div(num_bits, 64), 0) {
+  DC_CHECK(num_bits >= 1, "empty seed");
+}
+
+void SeedBits::set_bits(unsigned pos, unsigned count, std::uint64_t value) {
+  DC_CHECK(count >= 1 && count <= 64, "chunk must be 1..64 bits");
+  DC_CHECK(pos + count <= num_bits_, "chunk out of range");
+  for (unsigned i = 0; i < count; ++i) {
+    const unsigned bit = pos + i;
+    const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+    if ((value >> i) & 1) {
+      words_[bit / 64] |= mask;
+    } else {
+      words_[bit / 64] &= ~mask;
+    }
+  }
+}
+
+std::uint64_t SeedBits::get_bits(unsigned pos, unsigned count) const {
+  DC_CHECK(count >= 1 && count <= 64, "chunk must be 1..64 bits");
+  DC_CHECK(pos + count <= num_bits_, "chunk out of range");
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    const unsigned bit = pos + i;
+    if ((words_[bit / 64] >> (bit % 64)) & 1) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+std::span<const std::uint64_t> SeedBits::word_range(unsigned first,
+                                                    unsigned count) const {
+  DC_CHECK(first + count <= words_.size(), "word range out of bounds");
+  return {words_.data() + first, words_.data() + first + count};
+}
+
+SeedBits SeedBits::expand(unsigned num_bits, std::uint64_t salt,
+                          std::uint64_t index) {
+  SeedBits s(num_bits);
+  SplitMix64 sm(salt ^ (0xA5A5A5A5DEADBEEFULL + index * 0x9E3779B97F4A7C15ULL));
+  for (auto& w : s.words_) w = sm.next();
+  // Clear bits beyond num_bits so equality semantics are clean.
+  const unsigned tail = num_bits % 64;
+  if (tail != 0) s.words_.back() &= (std::uint64_t{1} << tail) - 1;
+  return s;
+}
+
+void SeedBits::fill_suffix(unsigned from, std::uint64_t salt,
+                           std::uint64_t index) {
+  DC_CHECK(from <= num_bits_, "suffix start out of range");
+  const SeedBits rnd = expand(num_bits_, salt, index);
+  unsigned pos = from;
+  while (pos < num_bits_) {
+    const unsigned count = std::min(64u, num_bits_ - pos);
+    set_bits(pos, count, rnd.get_bits(pos, count));
+    pos += count;
+  }
+}
+
+}  // namespace detcol

@@ -1,0 +1,52 @@
+// Bit-addressable seed strings.
+//
+// A seed specifies a pair of hash functions (Lemma 2.4); the method of
+// conditional expectations (Section 2.4) fixes it chunk by chunk. SeedBits is
+// the shared representation: a fixed-length bit string with chunk get/set and
+// word export (the hash constructors consume 64-bit words).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace detcol {
+
+class SeedBits {
+ public:
+  explicit SeedBits(unsigned num_bits);
+
+  unsigned num_bits() const { return num_bits_; }
+
+  /// Set `count` (<= 64) bits starting at `pos` to the low bits of `value`.
+  void set_bits(unsigned pos, unsigned count, std::uint64_t value);
+
+  /// Read `count` (<= 64) bits starting at `pos`.
+  std::uint64_t get_bits(unsigned pos, unsigned count) const;
+
+  /// Underlying words (little-endian bit order within each word).
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  /// Words [first, first+count) — used to split one seed string into the
+  /// h1-part and h2-part.
+  std::span<const std::uint64_t> word_range(unsigned first,
+                                            unsigned count) const;
+
+  /// Deterministically expand (salt, index) into a full seed string — the
+  /// fixed enumeration order used by scan-based selection and by sampled
+  /// completions in the MCE strategy.
+  static SeedBits expand(unsigned num_bits, std::uint64_t salt,
+                         std::uint64_t index);
+
+  /// Fill bits [from, num_bits) pseudo-randomly from (salt, index), keeping
+  /// bits [0, from) intact — "complete the suffix" for MCE estimates.
+  void fill_suffix(unsigned from, std::uint64_t salt, std::uint64_t index);
+
+  bool operator==(const SeedBits& other) const = default;
+
+ private:
+  unsigned num_bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace detcol

@@ -1,0 +1,86 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+std::size_t Coloring::num_colored() const {
+  std::size_t c = 0;
+  for (const auto x : color) {
+    if (x != kUncolored) ++c;
+  }
+  return c;
+}
+
+VerifyResult verify_coloring(const Graph& g,
+                             const PaletteSet& initial_palettes,
+                             const Coloring& coloring) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!coloring.is_colored(v)) {
+      return {false, "node " + std::to_string(v) + " is uncolored"};
+    }
+    if (!initial_palettes.contains(v, coloring.color[v])) {
+      std::ostringstream os;
+      os << "node " << v << " uses color " << coloring.color[v]
+         << " outside its palette";
+      return {false, os.str()};
+    }
+  }
+  return verify_proper_partial(g, coloring);
+}
+
+VerifyResult verify_proper_partial(const Graph& g, const Coloring& coloring) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!coloring.is_colored(v)) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      if (u > v && coloring.is_colored(u) &&
+          coloring.color[u] == coloring.color[v]) {
+        std::ostringstream os;
+        os << "edge (" << v << "," << u << ") is monochromatic with color "
+           << coloring.color[v];
+        return {false, os.str()};
+      }
+    }
+  }
+  return {true, ""};
+}
+
+bool greedy_color(const Graph& g, const PaletteSet& palettes,
+                  std::span<const NodeId> order, Coloring& coloring) {
+  std::unordered_set<Color> forbidden;
+  for (const NodeId v : order) {
+    DC_CHECK(!coloring.is_colored(v), "greedy asked to re-color node ", v);
+    forbidden.clear();
+    for (const NodeId u : g.neighbors(v)) {
+      if (coloring.is_colored(u)) forbidden.insert(coloring.color[u]);
+    }
+    bool placed = false;
+    for (const Color c : palettes.palette(v)) {
+      if (forbidden.find(c) == forbidden.end()) {
+        coloring.color[v] = c;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+bool greedy_color_all(const Graph& g, const PaletteSet& palettes,
+                      Coloring& coloring) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  return greedy_color(g, palettes, order, coloring);
+}
+
+}  // namespace detcol

@@ -1,0 +1,54 @@
+// Coloring assignment, verification and the local greedy used whenever an
+// instance is collected onto a single machine.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/palette.hpp"
+
+namespace detcol {
+
+/// Partial or complete coloring of the original graph.
+struct Coloring {
+  static constexpr Color kUncolored = ~Color{0};
+
+  explicit Coloring(NodeId num_nodes)
+      : color(num_nodes, kUncolored) {}
+
+  bool is_colored(NodeId v) const { return color[v] != kUncolored; }
+  std::size_t num_colored() const;
+  bool complete() const { return num_colored() == color.size(); }
+
+  std::vector<Color> color;
+};
+
+/// Result of verifying a coloring.
+struct VerifyResult {
+  bool ok = true;
+  std::string issue;  // human-readable description of the first violation
+};
+
+/// Checks that the coloring is complete, proper on `g`, and that every node's
+/// color belongs to its *initial* palette.
+VerifyResult verify_coloring(const Graph& g, const PaletteSet& initial_palettes,
+                             const Coloring& coloring);
+
+/// Checks properness only (partial colorings allowed: uncolored nodes are
+/// ignored).
+VerifyResult verify_proper_partial(const Graph& g, const Coloring& coloring);
+
+/// Greedily colors the nodes in `order` (original ids). For each node, picks
+/// the smallest palette color not used by any already-colored neighbor in
+/// `g`. Returns false (and stops) if some node has no available color.
+bool greedy_color(const Graph& g, const PaletteSet& palettes,
+                  std::span<const NodeId> order, Coloring& coloring);
+
+/// Degree-descending greedy over the whole graph; the classic centralized
+/// baseline. Always succeeds when every palette is larger than the degree.
+bool greedy_color_all(const Graph& g, const PaletteSet& palettes,
+                      Coloring& coloring);
+
+}  // namespace detcol

@@ -1,0 +1,87 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
+  std::vector<Edge> norm;
+  norm.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    DC_CHECK(u != v, "self-loop on node ", u);
+    DC_CHECK(u < num_nodes && v < num_nodes, "edge endpoint out of range: (",
+             u, ",", v, ") with n=", num_nodes);
+    norm.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(norm.begin(), norm.end());
+  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const auto& [u, v] : norm) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(norm.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : norm) {
+    g.adj_[cursor[u]++] = v;
+    g.adj_[cursor[v]++] = u;
+  }
+  // Adjacency lists come out sorted because the edge list was sorted on the
+  // first endpoint and, within a node, insertion order follows the second.
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    auto nb = g.neighbors(v);
+    DC_ASSERT(std::is_sorted(nb.begin(), nb.end()));
+  }
+  return g;
+}
+
+NodeId Graph::max_degree() const {
+  NodeId d = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
+  // Map original -> local. A dense scratch map keeps this O(n + m_sub).
+  static constexpr NodeId kAbsent = ~NodeId{0};
+  std::vector<NodeId> local(g.num_nodes(), kAbsent);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DC_CHECK(local[nodes[i]] == kAbsent, "duplicate node in induced set");
+    local[nodes[i]] = static_cast<NodeId>(i);
+  }
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const NodeId w : g.neighbors(nodes[i])) {
+      const NodeId lw = local[w];
+      if (lw != kAbsent && static_cast<NodeId>(i) < lw) {
+        edges.emplace_back(static_cast<NodeId>(i), lw);
+      }
+    }
+  }
+  return Graph::from_edges(static_cast<NodeId>(nodes.size()), edges);
+}
+
+}  // namespace detcol

@@ -1,0 +1,63 @@
+// Immutable CSR graph, the substrate every algorithm in detcolor runs on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace detcol {
+
+using NodeId = std::uint32_t;
+using Color = std::uint64_t;
+using Edge = std::pair<NodeId, NodeId>;
+
+/// Simple undirected graph in compressed-sparse-row form. No self-loops, no
+/// parallel edges (the builder deduplicates and rejects loops).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an undirected edge list; edges are deduplicated, order-
+  /// normalized and sorted. Self-loops are rejected (DC_CHECK).
+  static Graph from_edges(NodeId num_nodes, std::span<const Edge> edges);
+  static Graph from_edges(NodeId num_nodes, const std::vector<Edge>& edges) {
+    return from_edges(num_nodes, std::span<const Edge>(edges));
+  }
+
+  NodeId num_nodes() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  /// Number of undirected edges.
+  std::size_t num_edges() const { return adj_.size() / 2; }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  NodeId max_degree() const;
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Words of memory needed to describe the graph (the paper's notion of
+  /// instance "size": nodes + directed adjacency entries).
+  std::size_t size_words() const { return num_nodes() + adj_.size(); }
+
+  /// Enumerate undirected edges as (u, v) with u < v.
+  std::vector<Edge> edge_list() const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> adj_;           // both directions
+};
+
+/// Induced subgraph on `nodes` (original node ids, need not be sorted).
+/// Local node i corresponds to nodes[i]; returns the local graph. The
+/// original ids are exactly `nodes` (caller keeps the mapping).
+Graph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+
+}  // namespace detcol

@@ -1,0 +1,57 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edge_list()) {
+    os << u << ' ' << v << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  DC_CHECK(os.good(), "cannot open ", path, " for writing");
+  write_edge_list(os, g);
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  NodeId n = 0;
+  std::size_t m = 0;
+  bool have_header = false;
+  std::vector<Edge> edges;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    if (!have_header) {
+      if (ls >> n >> m) {
+        have_header = true;
+        edges.reserve(m);
+      }
+      continue;
+    }
+    NodeId u, v;
+    if (ls >> u >> v) edges.emplace_back(u, v);
+  }
+  DC_CHECK(have_header, "edge list missing 'n m' header");
+  DC_CHECK(edges.size() == m, "edge list header claims ", m, " edges, found ",
+           edges.size());
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream is(path);
+  DC_CHECK(is.good(), "cannot open ", path, " for reading");
+  return read_edge_list(is);
+}
+
+}  // namespace detcol

@@ -1,0 +1,21 @@
+// Plain-text edge-list I/O (one "u v" pair per line, '#' comments) plus a
+// DIMACS-ish writer, so example inputs/outputs can round-trip through files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace detcol {
+
+/// Writes "n m" header then one edge per line.
+void write_edge_list(std::ostream& os, const Graph& g);
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+/// Reads the format produced by write_edge_list. Throws CheckError on
+/// malformed input.
+Graph read_edge_list(std::istream& is);
+Graph read_edge_list_file(const std::string& path);
+
+}  // namespace detcol

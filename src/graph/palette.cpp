@@ -1,0 +1,110 @@
+#include "graph/palette.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+
+PaletteSet::PaletteSet(std::vector<std::vector<Color>> palettes)
+    : pal_(std::move(palettes)) {
+  for (auto& p : pal_) {
+    std::sort(p.begin(), p.end());
+    DC_CHECK(std::adjacent_find(p.begin(), p.end()) == p.end(),
+             "palette contains duplicate colors");
+  }
+}
+
+PaletteSet PaletteSet::uniform(NodeId num_nodes, Color num_colors) {
+  std::vector<std::vector<Color>> pal(num_nodes);
+  for (auto& p : pal) {
+    p.resize(num_colors);
+    for (Color c = 0; c < num_colors; ++c) p[c] = c;
+  }
+  return PaletteSet(std::move(pal));
+}
+
+PaletteSet PaletteSet::delta_plus_one(const Graph& g) {
+  return uniform(g.num_nodes(), static_cast<Color>(g.max_degree()) + 1);
+}
+
+namespace {
+std::vector<Color> distinct_colors(Color color_space, std::size_t k,
+                                   Xoshiro256& rng) {
+  DC_CHECK(k <= color_space, "palette larger than color space");
+  std::vector<Color> out;
+  out.reserve(k);
+  if (k * 3 >= color_space) {
+    // Dense case: sample by shuffling a prefix of the space.
+    std::vector<Color> all(color_space);
+    for (Color c = 0; c < color_space; ++c) all[c] = c;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto j = i + rng.next_below(color_space - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    // Sparse case: rejection sampling.
+    std::vector<Color> sorted;
+    while (out.size() < k) {
+      const Color c = rng.next_below(color_space);
+      if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+PaletteSet PaletteSet::random_lists(const Graph& g, Color color_space,
+                                    std::uint64_t seed) {
+  const std::size_t k = static_cast<std::size_t>(g.max_degree()) + 1;
+  std::vector<std::vector<Color>> pal(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Xoshiro256 rng(sub_seed(seed, v));
+    pal[v] = distinct_colors(color_space, k, rng);
+  }
+  return PaletteSet(std::move(pal));
+}
+
+PaletteSet PaletteSet::deg_plus_one_lists(const Graph& g, Color color_space,
+                                          std::uint64_t seed) {
+  std::vector<std::vector<Color>> pal(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Xoshiro256 rng(sub_seed(seed, v));
+    pal[v] = distinct_colors(color_space,
+                             static_cast<std::size_t>(g.degree(v)) + 1, rng);
+  }
+  return PaletteSet(std::move(pal));
+}
+
+std::size_t PaletteSet::total_size() const {
+  std::size_t s = 0;
+  for (const auto& p : pal_) s += p.size();
+  return s;
+}
+
+void PaletteSet::restrict(NodeId v, const std::function<bool(Color)>& keep) {
+  auto& p = pal_[v];
+  p.erase(std::remove_if(p.begin(), p.end(),
+                         [&](Color c) { return !keep(c); }),
+          p.end());
+}
+
+void PaletteSet::remove_color(NodeId v, Color c) {
+  auto& p = pal_[v];
+  const auto it = std::lower_bound(p.begin(), p.end(), c);
+  if (it != p.end() && *it == c) p.erase(it);
+}
+
+void PaletteSet::truncate(NodeId v, std::size_t k) {
+  auto& p = pal_[v];
+  if (p.size() > k) p.resize(k);
+}
+
+bool PaletteSet::contains(NodeId v, Color c) const {
+  const auto& p = pal_[v];
+  return std::binary_search(p.begin(), p.end(), c);
+}
+
+}  // namespace detcol

@@ -1,0 +1,64 @@
+// Palette storage for list-coloring instances.
+//
+// A PaletteSet holds, for every node of the *original* graph, its current
+// color palette as a sorted vector of color ids. The ColorReduce driver
+// mutates palettes in exactly the two ways the paper allows:
+//   * restrict-to-bin (Algorithm 2: keep only colors h2 maps to the bin), and
+//   * remove-used (palette updates before coloring the last bin and G0).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace detcol {
+
+class PaletteSet {
+ public:
+  PaletteSet() = default;
+  explicit PaletteSet(std::vector<std::vector<Color>> palettes);
+
+  /// Every node gets the same palette {0, ..., num_colors-1}: the classic
+  /// (Δ+1)-coloring setup when num_colors = Δ+1.
+  static PaletteSet uniform(NodeId num_nodes, Color num_colors);
+
+  /// (Δ+1)-coloring palettes for a given graph.
+  static PaletteSet delta_plus_one(const Graph& g);
+
+  /// (Δ+1)-list coloring: node v gets Δ+1 distinct colors drawn
+  /// deterministically from [0, color_space).
+  static PaletteSet random_lists(const Graph& g, Color color_space,
+                                 std::uint64_t seed);
+
+  /// (deg+1)-list coloring: node v gets deg(v)+1 distinct colors from
+  /// [0, color_space).
+  static PaletteSet deg_plus_one_lists(const Graph& g, Color color_space,
+                                       std::uint64_t seed);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(pal_.size()); }
+  std::span<const Color> palette(NodeId v) const { return pal_[v]; }
+  std::size_t palette_size(NodeId v) const { return pal_[v].size(); }
+
+  /// Total number of stored colors (the Theta(nΔ) term of Theorem 1.2).
+  std::size_t total_size() const;
+
+  /// Keep only the colors for which `keep` returns true.
+  void restrict(NodeId v, const std::function<bool(Color)>& keep);
+
+  /// Remove a single color if present (used-by-neighbor update).
+  void remove_color(NodeId v, Color c);
+
+  /// Drop colors from the back until the palette has at most `k` entries
+  /// (Theorem 1.3: shrink to deg+1 before collecting).
+  void truncate(NodeId v, std::size_t k);
+
+  bool contains(NodeId v, Color c) const;
+
+ private:
+  std::vector<std::vector<Color>> pal_;
+};
+
+}  // namespace detcol

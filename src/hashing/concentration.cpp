@@ -1,0 +1,27 @@
+#include "hashing/concentration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+double bellare_rompel_tail(unsigned c, double t, double lambda) {
+  DC_CHECK(c >= 4 && c % 2 == 0, "Lemma 2.2 requires even c >= 4, got ", c);
+  DC_CHECK(lambda > 0.0, "deviation must be positive");
+  DC_CHECK(t >= 0.0, "variable count must be non-negative");
+  const double base = (static_cast<double>(c) * t) / (lambda * lambda);
+  const double tail = 2.0 * std::pow(base, static_cast<double>(c) / 2.0);
+  return std::clamp(tail, 0.0, 1.0);
+}
+
+unsigned required_independence(double t, double lambda, double target,
+                               unsigned c_max) {
+  for (unsigned c = 4; c <= c_max; c += 2) {
+    if (bellare_rompel_tail(c, t, lambda) <= target) return c;
+  }
+  return 0;
+}
+
+}  // namespace detcol

@@ -1,0 +1,23 @@
+#include "hashing/field.hpp"
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+std::uint64_t m61_pow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  std::uint64_t b = m61_reduce(base);
+  while (exp > 0) {
+    if (exp & 1) result = m61_mul(result, b);
+    b = m61_mul(b, b);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t m61_inv(std::uint64_t a) {
+  DC_CHECK(m61_reduce(a) != 0, "inverse of zero");
+  return m61_pow(a, kMersenne61 - 2);
+}
+
+}  // namespace detcol

@@ -1,0 +1,55 @@
+// Arithmetic over the Mersenne prime field F_p with p = 2^61 - 1.
+//
+// The c-wise independent hash families of Section 2.3 of the paper are
+// realized as degree-(c-1) polynomials over this field: the classical
+// construction behind Lemma 2.4. Mersenne-61 admits branch-light reduction
+// and holds every id we hash (node ids in [n], color ids in [n^2]).
+#pragma once
+
+#include <cstdint>
+
+namespace detcol {
+
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// Reduce a value < 2^62 into [0, p).
+constexpr std::uint64_t m61_reduce(std::uint64_t x) {
+  x = (x & kMersenne61) + (x >> 61);
+  return x >= kMersenne61 ? x - kMersenne61 : x;
+}
+
+constexpr std::uint64_t m61_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;  // both < p < 2^61, no overflow
+  return s >= kMersenne61 ? s - kMersenne61 : s;
+}
+
+constexpr std::uint64_t m61_sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kMersenne61 - b;
+}
+
+/// Multiply in F_p using 128-bit intermediate.
+constexpr std::uint64_t m61_mul(std::uint64_t a, std::uint64_t b) {
+  const unsigned __int128 prod =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kMersenne61;
+  const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  // hi < 2^67 / 2^61 * ... : hi can be up to ~2^61, fold once more.
+  std::uint64_t s = lo + hi;
+  s = (s & kMersenne61) + (s >> 61);
+  return s >= kMersenne61 ? s - kMersenne61 : s;
+}
+
+/// Map a field element u in [0, p) onto [0, range) with near-equal interval
+/// sizes (the paper's Section 2.3 range-mapping; bias O(range / p)).
+constexpr std::uint64_t m61_to_range(std::uint64_t u, std::uint64_t range) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(u) * range) >> 61);
+}
+
+/// Modular exponentiation in F_p (used by tests for field sanity checks).
+std::uint64_t m61_pow(std::uint64_t base, std::uint64_t exp);
+
+/// Multiplicative inverse via Fermat (a != 0).
+std::uint64_t m61_inv(std::uint64_t a);
+
+}  // namespace detcol

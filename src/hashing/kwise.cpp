@@ -1,0 +1,41 @@
+#include "hashing/kwise.hpp"
+
+#include "hashing/field.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+
+KWiseHash::KWiseHash(std::span<const std::uint64_t> seed_words,
+                     std::uint64_t range)
+    : range_(range) {
+  DC_CHECK(!seed_words.empty(), "hash needs at least one coefficient");
+  DC_CHECK(range >= 1, "hash range must be >= 1");
+  coeffs_.reserve(seed_words.size());
+  for (const auto w : seed_words) coeffs_.push_back(m61_reduce(w));
+}
+
+KWiseHash KWiseHash::from_u64_seed(std::uint64_t seed, unsigned independence,
+                                   std::uint64_t range) {
+  DC_CHECK(independence >= 1, "independence must be >= 1");
+  SplitMix64 sm(seed);
+  std::vector<std::uint64_t> words(independence);
+  for (auto& w : words) w = sm.next();
+  return KWiseHash(words, range);
+}
+
+std::uint64_t KWiseHash::field_eval(std::uint64_t x) const {
+  const std::uint64_t xr = m61_reduce(x);
+  // Horner, highest coefficient first.
+  std::uint64_t acc = coeffs_.back();
+  for (auto it = coeffs_.rbegin() + 1; it != coeffs_.rend(); ++it) {
+    acc = m61_add(m61_mul(acc, xr), *it);
+  }
+  return acc;
+}
+
+std::uint64_t KWiseHash::to_range(std::uint64_t field_value) const {
+  return m61_to_range(field_value, range_);
+}
+
+}  // namespace detcol

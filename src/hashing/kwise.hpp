@@ -1,0 +1,52 @@
+// c-wise independent hash family (Definition 2.3 / Lemma 2.4 of the paper).
+//
+// A function of the family with independence c is the degree-(c-1) polynomial
+//   h(x) = a_{c-1} x^{c-1} + ... + a_1 x + a_0   over F_{2^61 - 1},
+// followed by the near-uniform range mapping of Section 2.3. The seed is the
+// coefficient vector; we allot 64 bits per coefficient (reduced mod p), so a
+// function needs exactly 64*c seed bits — this is the bit string the method
+// of conditional expectations fixes chunk by chunk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace detcol {
+
+class KWiseHash {
+ public:
+  /// Build from raw 64-bit seed words (one per coefficient). `range` >= 1.
+  KWiseHash(std::span<const std::uint64_t> seed_words, std::uint64_t range);
+
+  /// Convenience: derive the seed words deterministically from a 64-bit seed.
+  static KWiseHash from_u64_seed(std::uint64_t seed, unsigned independence,
+                                 std::uint64_t range);
+
+  /// Number of seed bits a function with independence c needs.
+  static constexpr unsigned seed_bits(unsigned independence) {
+    return 64u * independence;
+  }
+
+  /// Evaluate into [0, range).
+  std::uint64_t operator()(std::uint64_t x) const {
+    return to_range(field_eval(x));
+  }
+
+  /// Raw polynomial evaluation in [0, p).
+  std::uint64_t field_eval(std::uint64_t x) const;
+
+  std::uint64_t to_range(std::uint64_t field_value) const;
+
+  unsigned independence() const {
+    return static_cast<unsigned>(coeffs_.size());
+  }
+  std::uint64_t range() const { return range_; }
+  std::span<const std::uint64_t> coefficients() const { return coeffs_; }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // a_0 .. a_{c-1}, reduced mod p
+  std::uint64_t range_;
+};
+
+}  // namespace detcol

@@ -1,0 +1,279 @@
+#include "lowspace/low_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "hashing/kwise.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+namespace {
+
+struct LsInstance {
+  Graph graph;
+  std::vector<NodeId> orig;
+  NodeId n() const { return graph.num_nodes(); }
+};
+
+class LsDriver {
+ public:
+  LsDriver(const Graph& g, const PaletteSet& palettes,
+           const LowSpaceParams& params, std::uint64_t salt)
+      : g_(g),
+        pal_(palettes),
+        p_(params),
+        salt_(salt),
+        result_(g.num_nodes()),
+        mpc_(local_space(), total_space()) {}
+
+  LowSpaceResult run() {
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      DC_CHECK(pal_.palette_size(v) > g_.degree(v),
+               "(deg+1)-list precondition violated at node ", v);
+    }
+    LsInstance root;
+    root.orig.resize(g_.num_nodes());
+    std::iota(root.orig.begin(), root.orig.end(), NodeId{0});
+    root.graph = g_;
+    result_.ledger = recurse(root, 0, salt_);
+    result_.peak_local_words = mpc_.peak_local_words();
+    result_.peak_total_words = mpc_.peak_total_words();
+    return std::move(result_);
+  }
+
+ private:
+  std::uint64_t low_deg_threshold() const {
+    const double n = static_cast<double>(g_.num_nodes());
+    return std::max<std::uint64_t>(
+        2, ipow_floor(n, p_.low_deg_coeff * p_.delta));
+  }
+
+  std::uint64_t bins() const {
+    const double n = static_cast<double>(g_.num_nodes());
+    return std::max<std::uint64_t>(2, ipow_floor(n, p_.delta));
+  }
+
+  std::uint64_t local_space() const {
+    const double n = static_cast<double>(std::max<NodeId>(g_.num_nodes(), 2));
+    const auto s = static_cast<std::uint64_t>(
+        p_.space_coeff * std::pow(n, 22.0 * p_.delta));
+    return std::max(p_.local_space_floor, s);
+  }
+
+  std::uint64_t total_space() const {
+    const double n = static_cast<double>(std::max<NodeId>(g_.num_nodes(), 2));
+    const std::uint64_t input =
+        g_.size_words() + pal_.total_size();
+    const auto extra = static_cast<std::uint64_t>(
+        16.0 * std::pow(n, 1.0 + 22.0 * p_.delta));
+    return 4 * input + extra;
+  }
+
+  /// Drop colors used by colored original-graph neighbors.
+  void update_palettes(std::span<const NodeId> nodes) {
+    std::uint64_t touched = 0;
+    for (const NodeId v : nodes) {
+      for (const NodeId u : g_.neighbors(v)) {
+        if (result_.coloring.is_colored(u)) {
+          pal_.remove_color(v, result_.coloring.color[u]);
+          ++touched;
+        }
+      }
+    }
+    if (touched > 0) {
+      mpc_.route(touched, std::min(touched, mpc_.local_space()),
+                 "palette-update");
+    }
+  }
+
+  /// Color an all-low-degree instance through the MIS reduction.
+  RoundLedger color_via_mis(const LsInstance& inst, std::uint64_t salt) {
+    if (inst.n() == 0) return {};
+    std::vector<std::vector<Color>> pals(inst.n());
+    for (NodeId v = 0; v < inst.n(); ++v) {
+      const auto span = pal_.palette(inst.orig[v]);
+      pals[v].assign(span.begin(), span.end());
+    }
+    MisColorResult mis = mis_list_color(inst.graph, pals, p_.mis, salt);
+    for (NodeId v = 0; v < inst.n(); ++v) {
+      DC_CHECK(mis.color[v] != Coloring::kUncolored, "MIS left a node");
+      result_.coloring.color[inst.orig[v]] = mis.color[v];
+    }
+    ++result_.num_mis_calls;
+    result_.total_mis_phases += mis.phases;
+    result_.seed_evaluations += mis.seed_evaluations;
+    // Space accounting for the reduction graph (Section 4.1's bound).
+    const ReductionGraph red = build_reduction(inst.graph, pals);
+    mpc_.note_resident(std::min<std::uint64_t>(red.size_words(),
+                                               mpc_.local_space()),
+                       red.size_words());
+    return mis.ledger;
+  }
+
+  RoundLedger recurse(const LsInstance& inst, unsigned depth,
+                      std::uint64_t salt) {
+    result_.depth_reached = std::max(result_.depth_reached, depth);
+    RoundLedger led;
+    if (inst.n() == 0) return led;
+
+    const std::uint64_t low_deg = low_deg_threshold();
+    std::vector<NodeId> low_local, high_local;
+    for (NodeId v = 0; v < inst.n(); ++v) {
+      (inst.graph.degree(v) <= low_deg ? low_local : high_local)
+          .push_back(v);
+    }
+
+    if (high_local.empty() || depth >= p_.max_depth) {
+      if (!high_local.empty()) {
+        DC_LOG_WARN << "low-space recursion depth cap hit at depth " << depth;
+      }
+      update_palettes(inst.orig);
+      led.merge_sequential(color_via_mis(inst, sub_seed(salt, 7)));
+      return led;
+    }
+
+    // --- LowSpacePartition (Algorithm 4). ---
+    const std::uint64_t b = bins();
+    const unsigned c = p_.independence;
+    const unsigned bits = 2 * KWiseHash::seed_bits(c);
+    LsInstance high = make_child(inst, high_local);
+
+    auto violations = [&](const KWiseHash& h1, const KWiseHash& h2,
+                          std::vector<std::uint32_t>* bins_out) {
+      std::uint64_t bad = 0;
+      std::vector<std::uint32_t> bin(high.n());
+      for (NodeId v = 0; v < high.n(); ++v) {
+        bin[v] = static_cast<std::uint32_t>(h1(high.orig[v])) + 1;
+      }
+      for (NodeId v = 0; v < high.n(); ++v) {
+        std::uint64_t dprime = 0;
+        for (const NodeId u : high.graph.neighbors(v)) {
+          if (bin[u] == bin[v]) ++dprime;
+        }
+        const double d = static_cast<double>(high.graph.degree(v));
+        const double slack = std::pow(std::max(d, 2.0), p_.slack_exp);
+        bool ok = std::abs(static_cast<double>(dprime) -
+                           d / static_cast<double>(b)) <= slack;
+        if (ok && bin[v] != b) {
+          std::uint64_t pprime = 0;
+          for (const Color col : pal_.palette(high.orig[v])) {
+            if (h2(col) + 1 == bin[v]) ++pprime;
+          }
+          if (pprime <= dprime) ok = false;
+        }
+        if (!ok) ++bad;
+      }
+      if (bins_out != nullptr) *bins_out = std::move(bin);
+      return bad;
+    };
+
+    SeedCostFn cost = [&](const SeedBits& s) {
+      const KWiseHash h1(s.word_range(0, c), b);
+      const KWiseHash h2(s.word_range(c, c), b - 1);
+      return static_cast<double>(violations(h1, h2, nullptr));
+    };
+    const SeedSelectResult sel =
+        select_seed(bits, cost, 0.0, p_.seed, sub_seed(salt, 1));
+    result_.seed_evaluations += sel.evaluations;
+    ++result_.num_partitions;
+    // Seed schedule: per chunk one concurrent prefix-sum family (Lemma 2.1).
+    mpc_.prefix_sum(high.n(), "seed-selection",
+                    ceil_div(bits, p_.seed.chunk_bits));
+    led.charge("seed-selection", sel.rounds_charged, sel.words_charged);
+
+    const KWiseHash h1(sel.seed.word_range(0, c), b);
+    const KWiseHash h2(sel.seed.word_range(c, c), b - 1);
+    std::vector<std::uint32_t> bin;
+    const std::uint64_t bad = violations(h1, h2, &bin);
+    if (bad > 0) {
+      DC_LOG_DEBUG << "low-space partition diverts " << bad
+                   << " violator(s) to G0";
+      result_.diverted_violators += bad;
+    }
+
+    // Assign: violators join the low-degree set G0.
+    std::vector<std::vector<NodeId>> bin_local(b);
+    std::vector<NodeId> g0_local = low_local;
+    for (NodeId v = 0; v < high.n(); ++v) {
+      std::uint64_t dprime = 0;
+      for (const NodeId u : high.graph.neighbors(v)) {
+        if (bin[u] == bin[v]) ++dprime;
+      }
+      const double d = static_cast<double>(high.graph.degree(v));
+      const double slack = std::pow(std::max(d, 2.0), p_.slack_exp);
+      bool ok = std::abs(static_cast<double>(dprime) -
+                         d / static_cast<double>(b)) <= slack;
+      std::uint64_t pprime = 0;
+      if (ok && bin[v] != b) {
+        for (const Color col : pal_.palette(high.orig[v])) {
+          if (h2(col) + 1 == bin[v]) ++pprime;
+        }
+        if (pprime <= dprime) ok = false;
+      }
+      if (ok) {
+        bin_local[bin[v] - 1].push_back(high_local[v]);
+      } else {
+        g0_local.push_back(high_local[v]);
+      }
+    }
+    mpc_.sort(inst.graph.size_words(), "partition-route");
+
+    // Restrict palettes of color bins.
+    for (std::uint64_t i = 0; i + 1 < b; ++i) {
+      for (const NodeId l : bin_local[i]) {
+        const NodeId v = inst.orig[l];
+        pal_.restrict(v, [&](Color col) { return h2(col) + 1 == i + 1; });
+      }
+    }
+
+    // Recurse on color bins in parallel.
+    std::vector<RoundLedger> group;
+    for (std::uint64_t i = 0; i + 1 < b; ++i) {
+      LsInstance child = make_child(inst, bin_local[i]);
+      group.push_back(recurse(child, depth + 1, sub_seed(salt, 100 + i)));
+    }
+    led.merge_parallel(group);
+
+    // Last bin: update palettes, recurse.
+    LsInstance last = make_child(inst, bin_local[b - 1]);
+    update_palettes(last.orig);
+    led.merge_sequential(recurse(last, depth + 1, sub_seed(salt, 999)));
+
+    // G0: update palettes, color via the MIS reduction.
+    LsInstance g0 = make_child(inst, g0_local);
+    update_palettes(g0.orig);
+    led.merge_sequential(color_via_mis(g0, sub_seed(salt, 1234)));
+    return led;
+  }
+
+  LsInstance make_child(const LsInstance& inst,
+                        std::span<const NodeId> local_nodes) const {
+    LsInstance child;
+    child.graph = induced_subgraph(inst.graph, local_nodes);
+    child.orig.reserve(local_nodes.size());
+    for (const NodeId l : local_nodes) child.orig.push_back(inst.orig[l]);
+    return child;
+  }
+
+  const Graph& g_;
+  PaletteSet pal_;
+  LowSpaceParams p_;
+  std::uint64_t salt_;
+  LowSpaceResult result_;
+  MpcSim mpc_;
+};
+
+}  // namespace
+
+LowSpaceResult low_space_color(const Graph& g, const PaletteSet& palettes,
+                               const LowSpaceParams& params,
+                               std::uint64_t salt) {
+  LsDriver driver(g, palettes, params, salt);
+  return driver.run();
+}
+
+}  // namespace detcol

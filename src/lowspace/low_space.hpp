@@ -1,0 +1,64 @@
+// Algorithms 3 & 4: deterministic (deg+1)-list coloring in low-space MPC
+// (Theorem 1.4).
+//
+// LowSpaceColorReduce recursively partitions nodes and colors into n^delta
+// bins until every remaining node has degree at most n^{7*delta}; low-degree
+// nodes are diverted to G0 at every level and colored through the MIS
+// reduction (Section 4.1). The derandomized seed selection enforces the
+// Lemma 4.5 guarantees (d' < 2d/b + slack, and d' < p' on color bins);
+// nodes violating them under the chosen seed are diverted to G0 as well,
+// which preserves correctness unconditionally (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "graph/palette.hpp"
+#include "lowspace/mis.hpp"
+#include "sim/ledger.hpp"
+#include "sim/mpc_sim.hpp"
+
+namespace detcol {
+
+struct LowSpaceParams {
+  /// The paper's delta (bins per level b = max(2, floor(n^delta))).
+  double delta = 0.08;
+  /// Low-degree threshold exponent: nodes with d <= n^{low_deg_coeff*delta}
+  /// go to G0 (paper: 7*delta).
+  double low_deg_coeff = 7.0;
+  unsigned independence = 4;
+  SeedSelectConfig seed;
+  MisParams mis;
+  unsigned max_depth = 64;
+  /// Degree-deviation slack exponent in the good-machine condition
+  /// (Definition 4.1 uses chunk^0.6; we apply it at node granularity).
+  double slack_exp = 0.6;
+  /// Local space = max(local_space_floor, space_coeff * n^{22*delta}) words
+  /// (the paper sets delta = eps/22, i.e. s = n^eps).
+  std::uint64_t local_space_floor = 1 << 14;
+  double space_coeff = 8.0;
+};
+
+struct LowSpaceResult {
+  Coloring coloring;
+  RoundLedger ledger;
+  unsigned depth_reached = 0;
+  std::uint64_t num_partitions = 0;
+  std::uint64_t num_mis_calls = 0;
+  std::uint64_t total_mis_phases = 0;
+  std::uint64_t seed_evaluations = 0;
+  std::uint64_t diverted_violators = 0;  // good-by-seed but p'<=d' guards
+  std::uint64_t peak_local_words = 0;
+  std::uint64_t peak_total_words = 0;
+
+  explicit LowSpaceResult(NodeId n) : coloring(n) {}
+};
+
+/// Run LowSpaceColorReduce on (g, palettes). Requires p(v) > d(v) for all v
+/// ((deg+1)-lists and (Δ+1)(-list) instances both qualify).
+LowSpaceResult low_space_color(const Graph& g, const PaletteSet& palettes,
+                               const LowSpaceParams& params = {},
+                               std::uint64_t salt = 0x10053ACEULL);
+
+}  // namespace detcol

@@ -1,0 +1,177 @@
+#include "lowspace/mis.hpp"
+
+#include <algorithm>
+
+#include "hashing/kwise.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+namespace {
+
+struct PhaseOutcome {
+  std::vector<std::uint64_t> joined;   // reduction vertices entering the MIS
+  std::uint64_t removed_edges = 0;     // conflict edges deleted by the phase
+};
+
+struct MisState {
+  const ReductionGraph* r;
+  std::vector<char> active;            // per reduction vertex
+  std::vector<Color> color;            // per node, kUncolored until joined
+  std::uint64_t remaining_edges = 0;
+
+  bool vertex_active(std::uint64_t x) const { return active[x] != 0; }
+};
+
+/// Priority of vertex x under hash h: field value with id tiebreak.
+inline std::pair<std::uint64_t, std::uint64_t> priority(const KWiseHash& h,
+                                                        std::uint64_t x) {
+  return {h.field_eval(x), x};
+}
+
+/// Simulate one Luby phase under `h` without mutating the state.
+PhaseOutcome simulate_phase(const MisState& st, const KWiseHash& h) {
+  const ReductionGraph& r = *st.r;
+  PhaseOutcome out;
+  std::vector<char> removed(r.num_vertices, 0);
+  for (NodeId v = 0; v < r.num_nodes(); ++v) {
+    if (st.color[v] != Coloring::kUncolored) continue;
+    // Clique candidate: the active palette position with minimum priority.
+    std::uint64_t best = ~std::uint64_t{0};
+    std::pair<std::uint64_t, std::uint64_t> best_pri{~std::uint64_t{0},
+                                                     ~std::uint64_t{0}};
+    const std::uint64_t lo = r.base[v];
+    const std::uint64_t hi = lo + r.palettes[v].size();
+    for (std::uint64_t x = lo; x < hi; ++x) {
+      if (!st.vertex_active(x)) continue;
+      const auto pri = priority(h, x);
+      if (pri < best_pri) {
+        best_pri = pri;
+        best = x;
+      }
+    }
+    DC_CHECK(best != ~std::uint64_t{0},
+             "uncolored node lost its whole palette — invariant broken");
+    // The candidate joins iff it beats every *active* conflict neighbor.
+    bool wins = true;
+    for (const std::uint64_t y : r.conflicts[best]) {
+      if (st.vertex_active(y) && priority(h, y) < best_pri) {
+        wins = false;
+        break;
+      }
+    }
+    if (wins) out.joined.push_back(best);
+  }
+  // Mark removals: the joiner's whole clique plus its conflict neighbors.
+  for (const std::uint64_t x : out.joined) {
+    const NodeId v = r.node_of(x);
+    const std::uint64_t lo = r.base[v];
+    const std::uint64_t hi = lo + r.palettes[v].size();
+    for (std::uint64_t y = lo; y < hi; ++y) {
+      if (st.vertex_active(y)) removed[y] = 1;
+    }
+    for (const std::uint64_t y : r.conflicts[x]) {
+      if (st.vertex_active(y)) removed[y] = 1;
+    }
+  }
+  // Count conflict edges losing at least one endpoint.
+  for (std::uint64_t x = 0; x < r.num_vertices; ++x) {
+    if (!removed[x]) continue;
+    for (const std::uint64_t y : r.conflicts[x]) {
+      if (!st.vertex_active(y)) continue;
+      if (removed[y] && y < x) continue;  // counted at the smaller id
+      ++out.removed_edges;
+    }
+  }
+  return out;
+}
+
+/// Apply a simulated phase: color joiners, deactivate removed vertices,
+/// maintain the remaining-edge count.
+void apply_phase(MisState& st, const KWiseHash& h) {
+  const PhaseOutcome out = simulate_phase(st, h);
+  const ReductionGraph& r = *st.r;
+  std::vector<std::uint64_t> to_remove;
+  for (const std::uint64_t x : out.joined) {
+    const NodeId v = r.node_of(x);
+    st.color[v] = r.palettes[v][x - r.base[v]];
+    const std::uint64_t lo = r.base[v];
+    const std::uint64_t hi = lo + r.palettes[v].size();
+    for (std::uint64_t y = lo; y < hi; ++y) {
+      if (st.vertex_active(y)) to_remove.push_back(y);
+    }
+    for (const std::uint64_t y : r.conflicts[x]) {
+      if (st.vertex_active(y)) to_remove.push_back(y);
+    }
+  }
+  std::sort(to_remove.begin(), to_remove.end());
+  to_remove.erase(std::unique(to_remove.begin(), to_remove.end()),
+                  to_remove.end());
+  st.remaining_edges -= out.removed_edges;
+  for (const std::uint64_t y : to_remove) st.active[y] = 0;
+}
+
+}  // namespace
+
+MisColorResult mis_list_color(
+    const Graph& g, const std::vector<std::vector<Color>>& palettes,
+    const MisParams& params, std::uint64_t salt) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DC_CHECK(palettes[v].size() > g.degree(v),
+             "MIS reduction needs p(v) > d(v) at node ", v);
+  }
+  const ReductionGraph r = build_reduction(g, palettes);
+  MisState st{&r,
+              std::vector<char>(r.num_vertices, 1),
+              std::vector<Color>(g.num_nodes(), Coloring::kUncolored),
+              r.num_conflict_edges};
+
+  MisColorResult result;
+  result.color.assign(g.num_nodes(), Coloring::kUncolored);
+
+  const unsigned c = params.independence;
+  const unsigned bits = KWiseHash::seed_bits(c);
+  auto uncolored = [&] {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (st.color[v] == Coloring::kUncolored) return true;
+    }
+    return false;
+  };
+
+  while (uncolored()) {
+    DC_CHECK(result.phases < params.max_phases,
+             "MIS failed to converge within ", params.max_phases, " phases");
+    const std::uint64_t remaining = st.remaining_edges;
+    const double target =
+        remaining == 0
+            ? 0.0
+            : static_cast<double>(remaining) -
+                  static_cast<double>(ceil_div(remaining,
+                                               params.removal_fraction));
+    SeedCostFn cost = [&](const SeedBits& s) {
+      const KWiseHash h(s.word_range(0, c), 1);
+      const PhaseOutcome sim = simulate_phase(st, h);
+      // Cost: edges left after the phase; joining progress breaks zero-edge
+      // ties so the final conflict-free phases still advance.
+      return static_cast<double>(remaining - sim.removed_edges) -
+             (sim.joined.empty() ? 0.0 : 0.5);
+    };
+    const SeedSelectResult sel =
+        select_seed(bits, cost, target, params.seed,
+                    sub_seed(salt, result.phases));
+    result.seed_evaluations += sel.evaluations;
+    result.seed_rounds += sel.rounds_charged;
+    result.ledger.charge("mis-seed", sel.rounds_charged, sel.words_charged);
+    result.ledger.charge("mis-phase", params.rounds_per_phase,
+                         r.num_vertices);
+
+    const KWiseHash h(sel.seed.word_range(0, c), 1);
+    apply_phase(st, h);
+    ++result.phases;
+  }
+  result.color = st.color;
+  return result;
+}
+
+}  // namespace detcol

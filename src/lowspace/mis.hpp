@@ -1,0 +1,52 @@
+// Deterministic (derandomized-Luby) MIS on the coloring reduction graph.
+//
+// Stand-in for the CDP SPAA'20 MIS [7] that Theorem 1.4 consumes (see
+// DESIGN.md §2): per phase, c-wise independent priorities are drawn from a
+// seed chosen deterministically so that at least a constant fraction of the
+// remaining conflict edges is removed (Luby's analysis needs only pairwise
+// independence, so the expectation bound survives derandomization). A
+// reduction-graph vertex (v,c) joins the MIS when it has the smallest
+// priority within its implicit clique and among its active conflict
+// neighbors; joining colors node v with c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "derand/strategies.hpp"
+#include "graph/coloring.hpp"
+#include "lowspace/reduction.hpp"
+#include "sim/ledger.hpp"
+
+namespace detcol {
+
+struct MisParams {
+  unsigned independence = 4;
+  /// Accept a phase seed that removes at least remaining/removal_fraction
+  /// conflict edges (16 mirrors Luby's m/8 expectation with slack 2).
+  std::uint64_t removal_fraction = 16;
+  SeedSelectConfig seed;
+  /// Safety cap on phases (the theory gives O(log m)).
+  unsigned max_phases = 256;
+  /// Model rounds charged per phase on top of the seed-selection schedule
+  /// (priority exchange + join resolution + cleanup).
+  std::uint64_t rounds_per_phase = 4;
+};
+
+struct MisColorResult {
+  /// Color per local node (all nodes colored on success).
+  std::vector<Color> color;
+  unsigned phases = 0;
+  std::uint64_t seed_evaluations = 0;
+  std::uint64_t seed_rounds = 0;   // rounds of all per-phase seed schedules
+  RoundLedger ledger;              // phase rounds + seed rounds
+};
+
+/// Solve list coloring of `g` (local ids, palettes[v] sorted, strictly larger
+/// than deg(v)) via the MIS reduction. Deterministic; `salt` namespaces the
+/// seed enumeration.
+MisColorResult mis_list_color(const Graph& g,
+                              const std::vector<std::vector<Color>>& palettes,
+                              const MisParams& params, std::uint64_t salt);
+
+}  // namespace detcol

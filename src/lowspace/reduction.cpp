@@ -1,0 +1,63 @@
+#include "lowspace/reduction.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+NodeId ReductionGraph::node_of(std::uint64_t vertex) const {
+  const auto it = std::upper_bound(base.begin(), base.end(), vertex);
+  DC_CHECK(it != base.begin(), "vertex below first base");
+  return static_cast<NodeId>(std::distance(base.begin(), it) - 1);
+}
+
+ReductionGraph build_reduction(
+    const Graph& g, const std::vector<std::vector<Color>>& palettes) {
+  DC_CHECK(palettes.size() == g.num_nodes(), "palette/node count mismatch");
+  ReductionGraph r;
+  const NodeId n = g.num_nodes();
+  r.palettes.resize(n);
+  r.base.resize(n);
+  std::uint64_t next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    r.palettes[v] = palettes[v];
+    DC_CHECK(std::is_sorted(r.palettes[v].begin(), r.palettes[v].end()),
+             "palettes must be sorted");
+    // Truncate to deg+1: dropping surplus colors preserves solvability.
+    const std::size_t keep = static_cast<std::size_t>(g.degree(v)) + 1;
+    if (r.palettes[v].size() > keep) r.palettes[v].resize(keep);
+    r.base[v] = next;
+    next += r.palettes[v].size();
+  }
+  r.num_vertices = next;
+  r.conflicts.resize(next);
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (u <= v) continue;
+      // Merge-intersect the two sorted palettes.
+      const auto& pv = r.palettes[v];
+      const auto& pu = r.palettes[u];
+      std::size_t i = 0, j = 0;
+      while (i < pv.size() && j < pu.size()) {
+        if (pv[i] < pu[j]) {
+          ++i;
+        } else if (pu[j] < pv[i]) {
+          ++j;
+        } else {
+          const std::uint64_t a = r.base[v] + i;
+          const std::uint64_t b = r.base[u] + j;
+          r.conflicts[a].push_back(b);
+          r.conflicts[b].push_back(a);
+          ++r.num_conflict_edges;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace detcol

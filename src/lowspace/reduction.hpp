@@ -1,0 +1,45 @@
+// Luby's coloring-to-MIS reduction (Section 4.1 of the paper).
+//
+// Given a list-coloring instance, build the reduction graph: each node v
+// becomes a clique over its palette colors {(v,c)}; cross edges connect
+// (v,c)-(u,c) for adjacent u,v sharing color c. An MIS of this graph selects
+// exactly one (v,c) per node — a proper list coloring. Cliques are kept
+// implicit (a vertex knows its node), so the stored size is
+// O(sum palettes + conflict edges), matching the paper's accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/palette.hpp"
+
+namespace detcol {
+
+struct ReductionGraph {
+  /// Per local node: its palette (truncated to deg+1 — always safe and keeps
+  /// the reduction at the paper's stated size).
+  std::vector<std::vector<Color>> palettes;
+  /// Flat vertex ids: vertex (v, i) has id base[v] + i.
+  std::vector<std::uint64_t> base;
+  /// Conflict adjacency per flat vertex id (cross edges only; the per-node
+  /// clique is implicit).
+  std::vector<std::vector<std::uint64_t>> conflicts;
+
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_conflict_edges = 0;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(base.size()); }
+  NodeId node_of(std::uint64_t vertex) const;
+  /// Words to store the reduction (vertices + conflict adjacency).
+  std::uint64_t size_words() const {
+    return num_vertices + 2 * num_conflict_edges;
+  }
+};
+
+/// Build the reduction for a local graph whose node v has palette
+/// `palettes[v]` (sorted).
+ReductionGraph build_reduction(const Graph& g,
+                               const std::vector<std::vector<Color>>& palettes);
+
+}  // namespace detcol

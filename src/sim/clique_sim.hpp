@@ -1,0 +1,80 @@
+// Costed CONGESTED CLIQUE simulator.
+//
+// The model (Section 1.1): n nodes, synchronous rounds, each ordered pair can
+// exchange one O(log n)-bit word per round; local computation is unbounded.
+// Lenzen's routing [15] lets any communication pattern where every node sends
+// and receives O(n) words complete in O(1) rounds — the paper (Section 2.1)
+// consumes routing, sorting and prefix sums as black boxes with exactly these
+// guarantees, and so do we: each primitive *enforces its precondition* and
+// charges its contract cost to the ledger.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ledger.hpp"
+
+namespace detcol {
+
+/// Round costs of the communication primitives. These are the constants of
+/// the black-box results the paper builds on; they are configurable so that
+/// ablations can study their impact on the constant in Theorem 1.1.
+struct CliqueCosts {
+  std::uint64_t lenzen_route = 2;   // [15]: O(1); 2 in the common statement
+  std::uint64_t broadcast = 2;      // distribute + rebroadcast
+  std::uint64_t aggregate = 2;      // converge-cast a sum/min/max
+};
+
+class CliqueSim {
+ public:
+  /// `n` is the number of nodes of the input graph = number of machines.
+  /// `route_slack` is the constant in Lenzen's O(n) send/receive bound;
+  /// `collect_slack` the constant in the O(n)-words single-machine space
+  /// bound (graph words + deg+1-truncated palettes of a collected instance).
+  explicit CliqueSim(std::uint64_t n, CliqueCosts costs = {},
+                     double route_slack = 16.0, double collect_slack = 16.0);
+
+  std::uint64_t n() const { return n_; }
+
+  /// Route an arbitrary message pattern: total `total_words` words, with no
+  /// node sending or receiving more than `max_words_per_node`. Enforces the
+  /// Lenzen precondition max_words_per_node <= route_slack * n.
+  void lenzen_route(std::uint64_t total_words,
+                    std::uint64_t max_words_per_node,
+                    const std::string& phase);
+
+  /// One node distributes `words` words to everyone (words <= n per the
+  /// doubling broadcast; larger payloads charge proportionally).
+  void broadcast(std::uint64_t words, const std::string& phase);
+
+  /// Global aggregation (sum/min/...) of `values` per-node contributions,
+  /// e.g. the conditional-expectation sums of Section 2.4. `candidates`
+  /// parallel aggregations share the same rounds as long as candidates <= n.
+  void aggregate(std::uint64_t candidates, const std::string& phase);
+
+  /// Collect an instance of `words` words onto a single node. Enforces the
+  /// O(n) local-space bound (the "size O(n)" branch of Algorithm 1).
+  void collect(std::uint64_t words, const std::string& phase);
+
+  RoundLedger& ledger() { return ledger_; }
+  const RoundLedger& ledger() const { return ledger_; }
+
+  /// Largest single collect() seen (peak local space in words).
+  std::uint64_t peak_collect_words() const { return peak_collect_; }
+
+  /// Capacity available to collect() = collect_slack * n words.
+  std::uint64_t collect_capacity() const;
+
+  /// Per-node routing budget = route_slack * n words.
+  std::uint64_t route_capacity() const;
+
+ private:
+  std::uint64_t n_;
+  CliqueCosts costs_;
+  double route_slack_;
+  double collect_slack_;
+  std::uint64_t peak_collect_ = 0;
+  RoundLedger ledger_;
+};
+
+}  // namespace detcol

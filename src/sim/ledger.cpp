@@ -1,0 +1,54 @@
+#include "sim/ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace detcol {
+
+void RoundLedger::charge(const std::string& phase, std::uint64_t rounds,
+                         std::uint64_t words) {
+  auto& p = phases_[phase];
+  p.rounds += rounds;
+  p.words += words;
+  total_rounds_ += rounds;
+  total_words_ += words;
+}
+
+void RoundLedger::merge_sequential(const RoundLedger& other) {
+  for (const auto& [name, cost] : other.phases_) {
+    auto& p = phases_[name];
+    p.rounds += cost.rounds;
+    p.words += cost.words;
+  }
+  total_rounds_ += other.total_rounds_;
+  total_words_ += other.total_words_;
+}
+
+void RoundLedger::merge_parallel(std::span<const RoundLedger> group) {
+  if (group.empty()) return;
+  const RoundLedger* critical = &group[0];
+  for (const auto& l : group) {
+    if (l.total_rounds() > critical->total_rounds()) critical = &l;
+  }
+  for (const auto& l : group) {
+    for (const auto& [name, cost] : l.phases_) {
+      auto& p = phases_[name];
+      p.words += cost.words;
+      if (&l == critical) p.rounds += cost.rounds;
+    }
+    total_words_ += l.total_words_;
+  }
+  total_rounds_ += critical->total_rounds_;
+}
+
+std::string RoundLedger::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << total_rounds_ << " words=" << total_words_ << "\n";
+  for (const auto& [name, cost] : phases_) {
+    os << "  " << name << ": rounds=" << cost.rounds << " words=" << cost.words
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace detcol

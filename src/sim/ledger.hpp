@@ -1,0 +1,50 @@
+// Round/traffic accounting for simulated CONGESTED CLIQUE and MPC runs.
+//
+// The theorems we reproduce are statements about rounds, bandwidth and space,
+// not wall-clock time. Algorithms charge every communication step to a
+// RoundLedger; parallel recursive calls compose with `max` over rounds (they
+// run simultaneously in the model) while sequential phases add up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace detcol {
+
+struct PhaseCost {
+  std::uint64_t rounds = 0;
+  std::uint64_t words = 0;  // total message words moved in this phase
+};
+
+class RoundLedger {
+ public:
+  /// Charge `rounds` rounds (and optionally message words) to a named phase.
+  void charge(const std::string& phase, std::uint64_t rounds,
+              std::uint64_t words = 0);
+
+  std::uint64_t total_rounds() const { return total_rounds_; }
+  std::uint64_t total_words() const { return total_words_; }
+  const std::map<std::string, PhaseCost>& by_phase() const { return phases_; }
+
+  /// Append another ledger after this one (sequential composition).
+  void merge_sequential(const RoundLedger& other);
+
+  /// Compose a group of ledgers that ran in parallel: rounds advance by the
+  /// maximum (critical path), words by the sum. Phase attribution follows
+  /// the critical-path child; other children's words are folded into their
+  /// phases with zero additional rounds.
+  void merge_parallel(std::span<const RoundLedger> group);
+
+  /// Render a per-phase summary (for benches/examples).
+  std::string summary() const;
+
+ private:
+  std::uint64_t total_rounds_ = 0;
+  std::uint64_t total_words_ = 0;
+  std::map<std::string, PhaseCost> phases_;
+};
+
+}  // namespace detcol

@@ -1,0 +1,124 @@
+#include "sim/mpc_ops.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace detcol {
+namespace mpc {
+
+std::uint64_t Distribution::total_items() const {
+  std::uint64_t t = 0;
+  for (const auto& m : machine) t += m.size();
+  return t;
+}
+
+std::vector<std::uint64_t> Distribution::gather() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(total_items());
+  for (const auto& m : machine) {
+    out.insert(out.end(), m.begin(), m.end());
+  }
+  return out;
+}
+
+Distribution distribute(const std::vector<std::uint64_t>& items,
+                        std::uint64_t local_space) {
+  DC_CHECK(local_space >= 8, "machines too small to be useful");
+  Distribution d;
+  d.local_space = local_space;
+  const std::uint64_t cap = local_space / 2;
+  const std::uint64_t machines =
+      std::max<std::uint64_t>(1, ceil_div(items.size(), cap));
+  d.machine.resize(machines);
+  for (std::uint64_t i = 0; i < items.size(); ++i) {
+    d.machine[i % machines].push_back(items[i]);
+  }
+  for (const auto& m : d.machine) {
+    DC_CHECK(m.size() <= cap, "distribution overflow");
+  }
+  return d;
+}
+
+std::uint64_t sample_sort(Distribution& dist, MpcSim& sim) {
+  const std::uint64_t p = dist.num_machines();
+  if (dist.total_items() == 0) return 0;
+  std::uint64_t rounds = 0;
+
+  // Local sort (free: local computation).
+  for (auto& m : dist.machine) std::sort(m.begin(), m.end());
+  if (p == 1) return rounds;
+
+  // Regular sampling: each machine contributes p evenly spaced samples.
+  std::vector<std::uint64_t> samples;
+  for (const auto& m : dist.machine) {
+    if (m.empty()) continue;
+    for (std::uint64_t k = 0; k < p; ++k) {
+      samples.push_back(m[(k * m.size()) / p]);
+    }
+  }
+  // Samples fit one machine (p^2 <= local_space required for sample sort).
+  DC_CHECK(samples.size() <= dist.local_space,
+           "sample set exceeds machine space — too many machines for s");
+  sim.route(samples.size(), samples.size(), "sort-sample");
+  ++rounds;
+  std::sort(samples.begin(), samples.end());
+  std::vector<std::uint64_t> splitters;  // p-1 splitters
+  for (std::uint64_t k = 1; k < p; ++k) {
+    splitters.push_back(samples[(k * samples.size()) / p]);
+  }
+  sim.route(splitters.size() * p, splitters.size(), "sort-splitters");
+  ++rounds;
+
+  // Bucket exchange: key goes to the bucket of the first splitter >= key.
+  std::vector<std::vector<std::uint64_t>> buckets(p);
+  for (const auto& m : dist.machine) {
+    for (const auto x : m) {
+      const auto it =
+          std::upper_bound(splitters.begin(), splitters.end(), x);
+      buckets[static_cast<std::uint64_t>(
+                  std::distance(splitters.begin(), it))]
+          .push_back(x);
+    }
+  }
+  std::uint64_t moved = 0, max_bucket = 0;
+  for (const auto& b : buckets) {
+    moved += b.size();
+    max_bucket = std::max<std::uint64_t>(max_bucket, b.size());
+  }
+  // Regular sampling guarantees every bucket fits in ~2N/p <= local_space.
+  DC_CHECK(max_bucket <= dist.local_space,
+           "bucket of ", max_bucket, " exceeds machine space ",
+           dist.local_space, " — skewed keys beyond sample-sort guarantee");
+  sim.route(moved, max_bucket, "sort-exchange");
+  ++rounds;
+
+  for (std::uint64_t i = 0; i < p; ++i) {
+    std::sort(buckets[i].begin(), buckets[i].end());
+    dist.machine[i] = std::move(buckets[i]);
+  }
+  return rounds;
+}
+
+std::vector<std::uint64_t> machine_prefix_sums(const Distribution& dist,
+                                               MpcSim& sim) {
+  const std::uint64_t p = dist.num_machines();
+  std::vector<std::uint64_t> subtotal(p, 0);
+  for (std::uint64_t i = 0; i < p; ++i) {
+    for (const auto x : dist.machine[i]) subtotal[i] += x;
+  }
+  // Converge-cast subtotals to machine 0 (must fit: p <= local_space),
+  // then broadcast exclusive prefixes back.
+  DC_CHECK(p <= dist.local_space, "too many machines for one aggregator");
+  sim.route(p, p, "prefix-up");
+  std::vector<std::uint64_t> prefix(p, 0);
+  for (std::uint64_t i = 1; i < p; ++i) {
+    prefix[i] = prefix[i - 1] + subtotal[i - 1];
+  }
+  sim.route(p, p, "prefix-down");
+  return prefix;
+}
+
+}  // namespace mpc
+}  // namespace detcol

@@ -1,0 +1,50 @@
+// Item-level MPC primitives: the Lemma 2.1 toolbox (Goodrich et al. [11])
+// actually executed over simulated machines with hard space limits.
+//
+// The costed MpcSim charges contract costs; this module *runs* the
+// primitives: items physically live in per-machine memories, every
+// redistribution respects the s-word space bound, and the round counts are
+// those of the classical algorithms (sample sort: O(1) rounds; prefix sums:
+// one up-sweep + one down-sweep over a machine tree of constant depth for
+// poly-size inputs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/mpc_sim.hpp"
+
+namespace detcol {
+namespace mpc {
+
+/// Items distributed across machines, each holding at most `local_space`.
+struct Distribution {
+  std::uint64_t local_space = 0;
+  std::vector<std::vector<std::uint64_t>> machine;  // per-machine memory
+
+  std::uint64_t num_machines() const { return machine.size(); }
+  std::uint64_t total_items() const;
+  /// Concatenation in machine order.
+  std::vector<std::uint64_t> gather() const;
+};
+
+/// Spread `items` round-robin over ceil(N / (local_space/2)) machines
+/// (half-full machines leave room for the exchanges the primitives do).
+Distribution distribute(const std::vector<std::uint64_t>& items,
+                        std::uint64_t local_space);
+
+/// Deterministic sample sort: local sort, regular sampling of splitters,
+/// splitter broadcast, bucket exchange, local sort. After the call the
+/// distribution is globally sorted (machine i holds keys <= machine i+1's).
+/// Charges O(1) rounds to `sim` and enforces the space bound on every
+/// machine throughout. Returns rounds used.
+std::uint64_t sample_sort(Distribution& dist, MpcSim& sim);
+
+/// Prefix sums: machine i learns sum of all values held by machines < i
+/// (returned per machine); constant rounds via converge-cast/broadcast of
+/// per-machine subtotals.
+std::vector<std::uint64_t> machine_prefix_sums(const Distribution& dist,
+                                               MpcSim& sim);
+
+}  // namespace mpc
+}  // namespace detcol

@@ -1,0 +1,69 @@
+// Costed Massively Parallel Computation simulator.
+//
+// MPC (Section 1.1): M machines with s words of local space each; per round,
+// each machine's total in+out traffic must fit in s. The paper relies on the
+// MapReduce-era primitives of Goodrich et al. [11] (Lemma 2.1): sorting and
+// prefix sums of N items in O(1) rounds with s = N^delta space per machine.
+// Each primitive here enforces its space precondition and charges its
+// contract cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ledger.hpp"
+
+namespace detcol {
+
+struct MpcCosts {
+  std::uint64_t sort = 3;        // Lemma 2.1 via [11]
+  std::uint64_t prefix_sum = 2;  // Lemma 2.1
+  std::uint64_t route = 1;       // arbitrary pattern within space bounds
+  std::uint64_t gather = 2;      // collect an instance onto one machine
+};
+
+class MpcSim {
+ public:
+  /// `local_space` = s in words; `total_space` = M*s in words.
+  MpcSim(std::uint64_t local_space, std::uint64_t total_space,
+         MpcCosts costs = {});
+
+  std::uint64_t local_space() const { return local_space_; }
+  std::uint64_t total_space() const { return total_space_; }
+
+  /// Sort `items` records distributed across machines (Lemma 2.1).
+  void sort(std::uint64_t items, const std::string& phase);
+
+  /// Prefix sums over `items` values; `concurrent` independent instances run
+  /// side by side (Section 2.1: n^Omega(1) simultaneous aggregations).
+  void prefix_sum(std::uint64_t items, const std::string& phase,
+                  std::uint64_t concurrent = 1);
+
+  /// Arbitrary routing of `total_words`, no machine sending/receiving more
+  /// than `max_words_per_machine`.
+  void route(std::uint64_t total_words, std::uint64_t max_words_per_machine,
+             const std::string& phase);
+
+  /// Collect `words` onto one machine (must fit in local space).
+  void gather(std::uint64_t words, const std::string& phase);
+
+  /// Record a data-at-rest footprint; enforces the global space bound and
+  /// tracks the peak (Theorems 1.2-1.4 space accounting).
+  void note_resident(std::uint64_t local_words, std::uint64_t total_words);
+
+  std::uint64_t peak_local_words() const { return peak_local_; }
+  std::uint64_t peak_total_words() const { return peak_total_; }
+
+  RoundLedger& ledger() { return ledger_; }
+  const RoundLedger& ledger() const { return ledger_; }
+
+ private:
+  std::uint64_t local_space_;
+  std::uint64_t total_space_;
+  MpcCosts costs_;
+  std::uint64_t peak_local_ = 0;
+  std::uint64_t peak_total_ = 0;
+  RoundLedger ledger_;
+};
+
+}  // namespace detcol

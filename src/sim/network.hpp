@@ -1,0 +1,64 @@
+// Message-level CONGESTED CLIQUE network.
+//
+// Unlike CliqueSim (which charges contract costs for black-box primitives),
+// this is a faithful per-round message simulator: every ordered pair of nodes
+// may carry at most `bandwidth` words per round, violations throw. It exists
+// to demonstrate and test the primitives the costed simulator charges for
+// (broadcast, converge-cast aggregation, direct exchange), and to run the
+// randomized color-trial baseline at true message granularity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace detcol {
+namespace cc {
+
+struct Message {
+  std::uint32_t src;
+  std::uint64_t payload;
+};
+
+class Network {
+ public:
+  explicit Network(std::uint32_t n, std::uint32_t bandwidth_words = 1);
+
+  std::uint32_t n() const { return n_; }
+  std::uint64_t round() const { return round_; }
+  std::uint64_t total_words_sent() const { return total_words_; }
+
+  /// Queue one word from src to dst for delivery at the end of the round.
+  /// Throws CheckError if the (src,dst) link bandwidth is exhausted.
+  void send(std::uint32_t src, std::uint32_t dst, std::uint64_t payload);
+
+  /// Close the round: deliver all queued messages into inboxes.
+  void deliver();
+
+  /// Messages delivered to `v` in the last completed round.
+  std::span<const Message> inbox(std::uint32_t v) const;
+
+  // -- Primitives implemented with real messages (each advances rounds) --
+
+  /// Node `root` sends `value` to everyone: 1 round (n-1 single words).
+  void broadcast_one(std::uint32_t root, std::uint64_t value);
+
+  /// Sum of one value per node, result known to all: 2 rounds
+  /// (converge-cast to node 0, then broadcast).
+  std::uint64_t all_sum(std::span<const std::uint64_t> values);
+
+  /// Minimum with the same pattern: 2 rounds.
+  std::uint64_t all_min(std::span<const std::uint64_t> values);
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t bandwidth_;
+  std::uint64_t round_ = 0;
+  std::uint64_t total_words_ = 0;
+  std::vector<std::vector<Message>> pending_;   // per destination
+  std::vector<std::vector<Message>> inboxes_;   // per destination
+  std::vector<std::uint32_t> link_use_;         // n*n usage this round
+};
+
+}  // namespace cc
+}  // namespace detcol

@@ -1,0 +1,51 @@
+// Checked-assertion macros for detcolor.
+//
+// DC_CHECK(cond, msg...)  — always-on invariant check; throws detcol::CheckError.
+// DC_ASSERT(cond)         — debug-only (compiled out under NDEBUG).
+//
+// Library code throws rather than aborts so that tests can exercise failure
+// paths (model-limit violations are *meant* to be observable events: the
+// simulators use DC_CHECK to enforce bandwidth and space bounds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace detcol {
+
+/// Error thrown by DC_CHECK violations (invariant or model-limit breaches).
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+template <typename... Args>
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, Args&&... args) {
+  std::ostringstream os;
+  os << "DC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if constexpr (sizeof...(args) > 0) {
+    os << " — ";
+    (os << ... << args);
+  }
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace detcol
+
+#define DC_CHECK(cond, ...)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::detcol::detail::check_fail(#cond, __FILE__, __LINE__,            \
+                                   ##__VA_ARGS__);                       \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define DC_ASSERT(cond) ((void)0)
+#else
+#define DC_ASSERT(cond) DC_CHECK(cond)
+#endif

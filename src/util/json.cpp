@@ -1,0 +1,145 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::maybe_comma() {
+  if (expecting_value_) return;  // value follows "key":
+  if (!stack_.empty()) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  maybe_comma();
+  expecting_value_ = false;
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DC_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+           "end_object outside object");
+  DC_CHECK(!expecting_value_, "dangling key");
+  out_ += '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  maybe_comma();
+  expecting_value_ = false;
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DC_CHECK(!stack_.empty() && stack_.back() == Scope::kArray,
+           "end_array outside array");
+  out_ += ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  DC_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+           "key outside object");
+  DC_CHECK(!expecting_value_, "two keys in a row");
+  maybe_comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  maybe_comma();
+  expecting_value_ = false;
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  maybe_comma();
+  expecting_value_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  maybe_comma();
+  expecting_value_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(unsigned v) {
+  return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  DC_CHECK(std::isfinite(v), "JSON cannot hold non-finite numbers");
+  maybe_comma();
+  expecting_value_ = false;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  maybe_comma();
+  expecting_value_ = false;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  DC_CHECK(stack_.empty(), "unclosed JSON scopes");
+  return out_;
+}
+
+}  // namespace detcol

@@ -1,0 +1,48 @@
+// Minimal JSON writer — enough to export run statistics for downstream
+// plotting/analysis without external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace detcol {
+
+/// Streaming JSON writer with nesting validation. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("n").value(42);
+///   w.key("children").begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string s = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(unsigned v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Finished document (validates that all scopes are closed).
+  std::string str() const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void maybe_comma();
+  enum class Scope { kObject, kArray };
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool expecting_value_ = false;  // a key was just written
+  std::string out_;
+};
+
+}  // namespace detcol

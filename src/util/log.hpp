@@ -1,0 +1,44 @@
+// Minimal leveled logger (stderr). Level controlled programmatically or via
+// the DETCOLOR_LOG environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace detcol {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace detcol
+
+#define DC_LOG(level)                                             \
+  if (static_cast<int>(::detcol::log_level()) >=                  \
+      static_cast<int>(::detcol::LogLevel::level))                \
+  ::detcol::detail::LogLine(::detcol::LogLevel::level)
+
+#define DC_LOG_INFO DC_LOG(kInfo)
+#define DC_LOG_WARN DC_LOG(kWarn)
+#define DC_LOG_ERROR DC_LOG(kError)
+#define DC_LOG_DEBUG DC_LOG(kDebug)

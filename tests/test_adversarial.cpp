@@ -1,0 +1,148 @@
+// Adversarial and structural stress cases: inputs designed to push the
+// partition machinery into its uncomfortable corners — extreme degree skew,
+// maximal palette overlap, bridge-heavy topologies, near-threshold
+// palettes — while the coloring must stay verified.
+#include <gtest/gtest.h>
+
+#include "baselines/random_trial.hpp"
+#include "core/color_reduce.hpp"
+#include "graph/generators.hpp"
+#include "lowspace/low_space.hpp"
+
+namespace detcol {
+namespace {
+
+void expect_all_valid(const Graph& g, const PaletteSet& pal) {
+  {
+    ColorReduceConfig cfg;
+    cfg.part.collect_factor = 1.0;  // hardest: recursion forced early
+    const auto r = color_reduce(g, pal, cfg);
+    const auto v = verify_coloring(g, pal, r.coloring);
+    ASSERT_TRUE(v.ok) << "color_reduce: " << v.issue;
+  }
+  {
+    const auto r = low_space_color(g, pal);
+    const auto v = verify_coloring(g, pal, r.coloring);
+    ASSERT_TRUE(v.ok) << "low_space: " << v.issue;
+  }
+}
+
+TEST(Adversarial, BarbellTwoCliquesOneBridge) {
+  // Dense ends, a single bridge: the partition sees wildly non-uniform
+  // structure; the bridge nodes' goodness flips easily.
+  std::vector<Edge> edges;
+  const NodeId k = 40;
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) edges.emplace_back(u, v);
+  }
+  for (NodeId u = k; u < 2 * k; ++u) {
+    for (NodeId v = u + 1; v < 2 * k; ++v) edges.emplace_back(u, v);
+  }
+  edges.emplace_back(k - 1, k);  // bridge
+  const Graph g = Graph::from_edges(2 * k, edges);
+  expect_all_valid(g, PaletteSet::delta_plus_one(g));
+}
+
+TEST(Adversarial, LollipopCliquePlusLongTail) {
+  std::vector<Edge> edges;
+  const NodeId k = 30, tail = 200;
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) edges.emplace_back(u, v);
+  }
+  for (NodeId v = k; v < k + tail; ++v) edges.emplace_back(v - 1, v);
+  const Graph g = Graph::from_edges(k + tail, edges);
+  expect_all_valid(g, PaletteSet::delta_plus_one(g));
+}
+
+TEST(Adversarial, IdenticalListsMaximalOverlap) {
+  // Every node has the *same* list of exactly Delta+1 colors drawn from a
+  // huge space: h2 must split one shared palette across bins for everyone.
+  const Graph g = gen_random_regular(500, 16, 3);
+  std::vector<Color> shared;
+  for (Color i = 0; i <= g.max_degree(); ++i) {
+    shared.push_back(1'000'000'007ull * (i + 1));
+  }
+  std::vector<std::vector<Color>> lists(g.num_nodes(), shared);
+  const PaletteSet pal{std::move(lists)};
+  expect_all_valid(g, pal);
+}
+
+TEST(Adversarial, TwoHubsSharedLeaves) {
+  // Double star: two hubs adjacent to all leaves and to each other —
+  // maximum degree n-1 with minimum edge count.
+  const NodeId n = 300;
+  std::vector<Edge> edges;
+  for (NodeId v = 2; v < n; ++v) {
+    edges.emplace_back(0, v);
+    edges.emplace_back(1, v);
+  }
+  edges.emplace_back(0, 1);
+  const Graph g = Graph::from_edges(n, edges);
+  expect_all_valid(g, PaletteSet::delta_plus_one(g));
+}
+
+TEST(Adversarial, PalettesExactlyDegPlusOne) {
+  // The tightest legal palettes everywhere: zero slack for the invariant.
+  const Graph g = gen_power_law(800, 2.4, 10.0, 7);
+  const PaletteSet pal = PaletteSet::deg_plus_one_lists(g, 1u << 24, 9);
+  expect_all_valid(g, pal);
+}
+
+TEST(Adversarial, CliqueWithPendantPerNode) {
+  // K_k where each clique node also has a pendant leaf: leaves have degree
+  // 1 and palettes of size 2 under deg+1 lists.
+  const NodeId k = 48;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) edges.emplace_back(u, v);
+    edges.emplace_back(u, static_cast<NodeId>(k + u));
+  }
+  const Graph g = Graph::from_edges(2 * k, edges);
+  expect_all_valid(g, PaletteSet::deg_plus_one_lists(g, 1u << 16, 1));
+}
+
+TEST(Adversarial, ColorIdsAtDomainExtremes) {
+  // Palette colors near 0 and near 2^61: the hash range mapping must not
+  // bias or overflow.
+  const Graph g = gen_ring(100);
+  std::vector<std::vector<Color>> lists(100);
+  for (NodeId v = 0; v < 100; ++v) {
+    lists[v] = {0, (std::uint64_t{1} << 61) - 2 - v, 1 + v};
+  }
+  const PaletteSet pal{std::move(lists)};
+  expect_all_valid(g, pal);
+}
+
+TEST(Adversarial, RandomTrialWorstSeedStillTerminates) {
+  // Pathological-ish seed choices must not stall the randomized baseline
+  // (its per-round success probability is constant regardless).
+  const Graph g = gen_complete(32);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto r = random_trial_color(g, pal, seed);
+    ASSERT_TRUE(verify_coloring(g, pal, r.coloring).ok);
+    EXPECT_LE(r.trial_rounds, 300u);
+  }
+}
+
+TEST(Adversarial, DeterminismAcrossConfigurations) {
+  // Any config permutation must be internally deterministic (same config
+  // twice -> identical coloring), even where configs differ among each
+  // other.
+  const Graph g = gen_gnp(400, 0.06, 21);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  for (const double cf : {1.0, 4.0}) {
+    for (const unsigned c : {2u, 4u}) {
+      ColorReduceConfig cfg;
+      cfg.part.collect_factor = cf;
+      cfg.part.independence = c;
+      const auto a = color_reduce(g, pal, cfg);
+      const auto b = color_reduce(g, pal, cfg);
+      ASSERT_EQ(a.coloring.color, b.coloring.color);
+      ASSERT_TRUE(verify_coloring(g, pal, a.coloring).ok);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace detcol

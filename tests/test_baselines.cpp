@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.hpp"
+#include "baselines/mis_coloring.hpp"
+#include "baselines/random_trial.hpp"
+#include "baselines/randomized_reduce.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(GreedyBaseline, ColorsAndTimes) {
+  const Graph g = gen_gnp(1000, 0.02, 1);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  const auto r = greedy_baseline(g, pal);
+  EXPECT_TRUE(verify_coloring(g, pal, r.coloring).ok);
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+TEST(RandomTrial, ColorsGnp) {
+  const Graph g = gen_gnp(800, 0.03, 3);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  const auto r = random_trial_color(g, pal, 42);
+  EXPECT_TRUE(verify_coloring(g, pal, r.coloring).ok);
+  EXPECT_GT(r.trial_rounds, 0u);
+  EXPECT_EQ(r.model_rounds, 2 * r.trial_rounds);
+}
+
+TEST(RandomTrial, RoundsLogarithmicInPractice) {
+  const Graph g = gen_random_regular(2000, 16, 5);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  const auto r = random_trial_color(g, pal, 7);
+  EXPECT_TRUE(verify_coloring(g, pal, r.coloring).ok);
+  EXPECT_LE(r.trial_rounds, 60u);  // ~O(log n), generous cap
+}
+
+TEST(RandomTrial, DeterministicGivenSeed) {
+  const Graph g = gen_gnp(300, 0.05, 9);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  const auto a = random_trial_color(g, pal, 11);
+  const auto b = random_trial_color(g, pal, 11);
+  EXPECT_EQ(a.coloring.color, b.coloring.color);
+  const auto c = random_trial_color(g, pal, 12);
+  EXPECT_TRUE(verify_coloring(g, pal, c.coloring).ok);
+}
+
+TEST(RandomTrial, ListColoring) {
+  const Graph g = gen_random_regular(400, 10, 13);
+  const PaletteSet pal = PaletteSet::random_lists(g, 1u << 16, 15);
+  const auto r = random_trial_color(g, pal, 17);
+  EXPECT_TRUE(verify_coloring(g, pal, r.coloring).ok);
+}
+
+TEST(RandomTrial, RejectsDeficientPalettes) {
+  const Graph g = gen_complete(5);
+  const PaletteSet pal = PaletteSet::uniform(5, 2);
+  EXPECT_THROW(random_trial_color(g, pal, 1), CheckError);
+}
+
+TEST(RandomizedReduce, StillColorsButWithoutGuarantee) {
+  const Graph g = gen_gnp(700, 0.04, 19);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  const auto r = randomized_reduce(g, pal, 0);
+  EXPECT_TRUE(verify_coloring(g, pal, r.coloring).ok);
+  // Exactly one seed evaluation per partition (no search).
+  EXPECT_EQ(r.total_seed_evaluations, r.num_partitions);
+}
+
+TEST(RandomizedReduce, DifferentDrawsDifferentOutcomes) {
+  ColorReduceConfig cfg;
+  cfg.part.collect_factor = 2.0;
+  const Graph g = gen_random_regular(600, 32, 21);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  const auto a = randomized_reduce(g, pal, 0, cfg);
+  const auto b = randomized_reduce(g, pal, 1, cfg);
+  EXPECT_TRUE(verify_coloring(g, pal, a.coloring).ok);
+  EXPECT_TRUE(verify_coloring(g, pal, b.coloring).ok);
+}
+
+TEST(MisBaseline, ColorsAndReportsPhases) {
+  const Graph g = gen_gnp(300, 0.05, 23);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  const auto r = mis_baseline_color(g, pal);
+  EXPECT_TRUE(verify_coloring(g, pal, r.coloring).ok);
+  EXPECT_GE(r.phases, 1u);
+  EXPECT_GT(r.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace detcol

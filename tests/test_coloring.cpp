@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Coloring, StateTracking) {
+  Coloring c(3);
+  EXPECT_EQ(c.num_colored(), 0u);
+  EXPECT_FALSE(c.complete());
+  c.color[1] = 7;
+  EXPECT_TRUE(c.is_colored(1));
+  EXPECT_FALSE(c.is_colored(0));
+  EXPECT_EQ(c.num_colored(), 1u);
+}
+
+TEST(Verify, DetectsUncolored) {
+  const Graph g = gen_ring(4);
+  const PaletteSet p = PaletteSet::delta_plus_one(g);
+  Coloring c(4);
+  const auto r = verify_coloring(g, p, c);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.issue.find("uncolored"), std::string::npos);
+}
+
+TEST(Verify, DetectsMonochromaticEdge) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  const PaletteSet p = PaletteSet::uniform(2, 3);
+  Coloring c(2);
+  c.color[0] = 1;
+  c.color[1] = 1;
+  const auto r = verify_coloring(g, p, c);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.issue.find("monochromatic"), std::string::npos);
+}
+
+TEST(Verify, DetectsOutOfPalette) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  const PaletteSet p = PaletteSet::uniform(2, 3);
+  Coloring c(2);
+  c.color[0] = 0;
+  c.color[1] = 7;  // outside [0,3)
+  const auto r = verify_coloring(g, p, c);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.issue.find("palette"), std::string::npos);
+}
+
+TEST(Verify, AcceptsProperColoring) {
+  const Graph g = gen_ring(4);
+  const PaletteSet p = PaletteSet::uniform(4, 2);
+  Coloring c(4);
+  c.color = {0, 1, 0, 1};
+  EXPECT_TRUE(verify_coloring(g, p, c).ok);
+}
+
+TEST(Verify, PartialIgnoresUncolored) {
+  const Graph g = gen_ring(4);
+  Coloring c(4);
+  c.color[0] = 5;
+  EXPECT_TRUE(verify_proper_partial(g, c).ok);
+  c.color[1] = 5;
+  EXPECT_FALSE(verify_proper_partial(g, c).ok);
+}
+
+TEST(Greedy, ColorsWholeGraphWhenPalettesSuffice) {
+  const Graph g = gen_gnp(200, 0.05, 3);
+  const PaletteSet p = PaletteSet::delta_plus_one(g);
+  Coloring c(g.num_nodes());
+  EXPECT_TRUE(greedy_color_all(g, p, c));
+  EXPECT_TRUE(verify_coloring(g, p, c).ok);
+}
+
+TEST(Greedy, FailsGracefullyWithTinyPalettes) {
+  const Graph g = gen_complete(4);
+  const PaletteSet p = PaletteSet::uniform(4, 2);  // needs 4 colors
+  Coloring c(4);
+  std::vector<NodeId> order(4);
+  std::iota(order.begin(), order.end(), 0);
+  EXPECT_FALSE(greedy_color(g, p, order, c));
+}
+
+TEST(Greedy, RespectsPreexistingColors) {
+  // Path 0-1-2; color node 1 first, then greedily extend.
+  const Graph g = Graph::from_edges(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  const PaletteSet p = PaletteSet::uniform(3, 2);
+  Coloring c(3);
+  c.color[1] = 0;
+  const std::vector<NodeId> order = {0, 2};
+  EXPECT_TRUE(greedy_color(g, p, order, c));
+  EXPECT_EQ(c.color[0], 1u);
+  EXPECT_EQ(c.color[2], 1u);
+  EXPECT_TRUE(verify_coloring(g, p, c).ok);
+}
+
+TEST(Greedy, RecoloringRejected) {
+  const Graph g = gen_ring(3);
+  const PaletteSet p = PaletteSet::uniform(3, 3);
+  Coloring c(3);
+  c.color[0] = 0;
+  const std::vector<NodeId> order = {0};
+  EXPECT_THROW(greedy_color(g, p, order, c), CheckError);
+}
+
+TEST(Greedy, ListPalettesRespected) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  std::vector<std::vector<Color>> lists = {{10, 20}, {10, 30}};
+  const PaletteSet p{std::move(lists)};
+  Coloring c(2);
+  EXPECT_TRUE(greedy_color_all(g, p, c));
+  EXPECT_TRUE(verify_coloring(g, p, c).ok);
+  EXPECT_NE(c.color[0], c.color[1]);
+}
+
+}  // namespace
+}  // namespace detcol

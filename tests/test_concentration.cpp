@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "hashing/concentration.hpp"
+#include "hashing/kwise.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Concentration, TailFormulaValues) {
+  // 2*(c*t/l^2)^(c/2) with c=4, t=100, lambda=100: 2*(400/10000)^2 = 0.0032.
+  EXPECT_NEAR(bellare_rompel_tail(4, 100, 100), 0.0032, 1e-9);
+}
+
+TEST(Concentration, ClampedToOne) {
+  EXPECT_DOUBLE_EQ(bellare_rompel_tail(4, 1e6, 1.0), 1.0);
+}
+
+TEST(Concentration, MonotoneInLambda) {
+  double prev = 1.0;
+  for (double lambda = 50; lambda <= 5000; lambda *= 2) {
+    const double t = bellare_rompel_tail(4, 1000, lambda);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Concentration, HigherIndependenceHelpsForSmallBase) {
+  // When c*t/lambda^2 < 1 the bound improves with c.
+  const double t4 = bellare_rompel_tail(4, 100, 200);
+  const double t8 = bellare_rompel_tail(8, 100, 200);
+  EXPECT_LT(t8, t4);
+}
+
+TEST(Concentration, RejectsOddOrSmallC) {
+  EXPECT_THROW(bellare_rompel_tail(3, 10, 1), CheckError);
+  EXPECT_THROW(bellare_rompel_tail(2, 10, 1), CheckError);
+  EXPECT_THROW(bellare_rompel_tail(5, 10, 1), CheckError);
+}
+
+TEST(Concentration, RequiredIndependence) {
+  // Some achievable target.
+  const unsigned c = required_independence(1000, 500, 1e-3);
+  ASSERT_GT(c, 0u);
+  EXPECT_LE(bellare_rompel_tail(c, 1000, 500), 1e-3);
+  // Unachievable target (base > 1 forever).
+  EXPECT_EQ(required_independence(1e9, 1.0, 1e-3, 16), 0u);
+}
+
+TEST(Concentration, EmpiricalDeviationWithinLemma22) {
+  // Empirical check of the bound's *direction*: sum of t 4-wise independent
+  // indicator variables (does h map x to bucket 0 of ell buckets) deviates
+  // by >= lambda no more often than the analytic tail (which is loose).
+  const std::uint64_t ell = 8;
+  const unsigned t = 512;
+  const double mu = static_cast<double>(t) / static_cast<double>(ell);
+  const double lambda = 48.0;  // ~6x sigma, analytic tail ~2*(4*512/2304)^2
+  const double tail = bellare_rompel_tail(4, t, lambda);
+  int bad = 0;
+  const int seeds = 2000;
+  for (int s = 0; s < seeds; ++s) {
+    const auto h = KWiseHash::from_u64_seed(s * 1337 + 11, 4, ell);
+    int z = 0;
+    for (unsigned x = 0; x < t; ++x) {
+      if (h(x) == 0) ++z;
+    }
+    if (std::abs(z - mu) >= lambda) ++bad;
+  }
+  EXPECT_LE(static_cast<double>(bad) / seeds, tail + 0.01);
+}
+
+}  // namespace
+}  // namespace detcol

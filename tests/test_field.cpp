@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "hashing/field.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Field, ReduceIsCanonical) {
+  EXPECT_EQ(m61_reduce(0), 0u);
+  EXPECT_EQ(m61_reduce(kMersenne61), 0u);
+  EXPECT_EQ(m61_reduce(kMersenne61 + 5), 5u);
+  EXPECT_EQ(m61_reduce(kMersenne61 - 1), kMersenne61 - 1);
+}
+
+TEST(Field, AddSubInverse) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = m61_reduce(rng.next());
+    const auto b = m61_reduce(rng.next());
+    EXPECT_EQ(m61_sub(m61_add(a, b), b), a);
+    EXPECT_EQ(m61_add(a, m61_sub(0, a)), 0u);
+  }
+}
+
+TEST(Field, MulAgreesWithSmallCases) {
+  EXPECT_EQ(m61_mul(3, 4), 12u);
+  EXPECT_EQ(m61_mul(kMersenne61 - 1, 1), kMersenne61 - 1);
+  // (p-1)*(p-1) = p^2 - 2p + 1 == 1 mod p.
+  EXPECT_EQ(m61_mul(kMersenne61 - 1, kMersenne61 - 1), 1u);
+}
+
+TEST(Field, MulAssociativeCommutative) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = m61_reduce(rng.next());
+    const auto b = m61_reduce(rng.next());
+    const auto c = m61_reduce(rng.next());
+    EXPECT_EQ(m61_mul(a, b), m61_mul(b, a));
+    EXPECT_EQ(m61_mul(m61_mul(a, b), c), m61_mul(a, m61_mul(b, c)));
+    // Distributivity.
+    EXPECT_EQ(m61_mul(a, m61_add(b, c)),
+              m61_add(m61_mul(a, b), m61_mul(a, c)));
+  }
+}
+
+TEST(Field, FermatLittleTheorem) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = m61_reduce(rng.next());
+    if (a == 0) continue;
+    EXPECT_EQ(m61_pow(a, kMersenne61 - 1), 1u);
+  }
+}
+
+TEST(Field, Inverse) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = m61_reduce(rng.next());
+    if (a == 0) continue;
+    EXPECT_EQ(m61_mul(a, m61_inv(a)), 1u);
+  }
+  EXPECT_THROW(m61_inv(0), CheckError);
+  EXPECT_THROW(m61_inv(kMersenne61), CheckError);  // reduces to zero
+}
+
+TEST(Field, RangeMapCoversAllBucketsNearUniformly) {
+  const std::uint64_t range = 7;
+  std::uint64_t counts[7] = {};
+  const int trials = 70000;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < trials; ++i) {
+    const auto u = m61_reduce(rng.next());
+    const auto b = m61_to_range(u, range);
+    ASSERT_LT(b, range);
+    ++counts[b];
+  }
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 7.0, trials / 70.0);
+  }
+}
+
+TEST(Field, RangeMapEdges) {
+  EXPECT_EQ(m61_to_range(0, 10), 0u);
+  EXPECT_EQ(m61_to_range(kMersenne61 - 1, 10), 9u);
+  EXPECT_EQ(m61_to_range(12345, 1), 0u);
+}
+
+}  // namespace
+}  // namespace detcol

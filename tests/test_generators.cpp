@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Generators, GnpDeterministicAndPlausibleDensity) {
+  const Graph a = gen_gnp(500, 0.05, 42);
+  const Graph b = gen_gnp(500, 0.05, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const double expected = 0.05 * 500 * 499 / 2;
+  EXPECT_NEAR(static_cast<double>(a.num_edges()), expected, expected * 0.15);
+  const Graph c = gen_gnp(500, 0.05, 43);
+  EXPECT_NE(a.num_edges(), c.num_edges());  // overwhelmingly likely
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(gen_gnp(50, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(gen_gnp(50, 1.0, 1).num_edges(), 50u * 49 / 2);
+}
+
+TEST(Generators, GnmExactCount) {
+  const Graph g = gen_gnm(100, 321, 9);
+  EXPECT_EQ(g.num_edges(), 321u);
+  EXPECT_THROW(gen_gnm(5, 11, 1), CheckError);  // > C(5,2)=10
+}
+
+TEST(Generators, RandomRegularDegreeBounds) {
+  const Graph g = gen_random_regular(400, 8, 5);
+  EXPECT_LE(g.max_degree(), 8u);
+  // Configuration-model repair loses few edges: average degree close to 8.
+  const double avg = 2.0 * g.num_edges() / 400.0;
+  EXPECT_GT(avg, 7.0);
+}
+
+TEST(Generators, PowerLawSkewedDegrees) {
+  const Graph g = gen_power_law(2000, 2.5, 8.0, 11);
+  EXPECT_GT(g.max_degree(), 30u);  // heavy head
+  const double avg = 2.0 * g.num_edges() / 2000.0;
+  EXPECT_NEAR(avg, 8.0, 4.0);
+}
+
+TEST(Generators, GridStructure) {
+  const Graph g = gen_grid(5, 7);
+  EXPECT_EQ(g.num_nodes(), 35u);
+  EXPECT_EQ(g.num_edges(), 5u * 6 + 4u * 7);  // horizontal + vertical
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);  // corner
+}
+
+TEST(Generators, RingAndComplete) {
+  const Graph ring = gen_ring(10);
+  EXPECT_EQ(ring.num_edges(), 10u);
+  EXPECT_EQ(ring.max_degree(), 2u);
+  EXPECT_THROW(gen_ring(2), CheckError);
+  const Graph k5 = gen_complete(5);
+  EXPECT_EQ(k5.num_edges(), 10u);
+  EXPECT_EQ(k5.max_degree(), 4u);
+}
+
+TEST(Generators, BipartiteIsTwoColorable) {
+  const Graph g = gen_bipartite(40, 60, 0.2, 3);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  // BFS two-coloring must succeed.
+  std::vector<int> side(g.num_nodes(), -1);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (side[s] != -1) continue;
+    side[s] = 0;
+    std::queue<NodeId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const NodeId u : g.neighbors(v)) {
+        if (side[u] == -1) {
+          side[u] = 1 - side[v];
+          q.push(u);
+        }
+        ASSERT_NE(side[u], side[v]);
+      }
+    }
+  }
+}
+
+TEST(Generators, GeometricSymmetricInRadius) {
+  const Graph g = gen_geometric(300, 0.08, 17);
+  EXPECT_GT(g.num_edges(), 0u);
+  // Every node's neighbor relation is symmetric by construction of Graph;
+  // sanity: no degree exceeds n-1 and graph is deterministic.
+  const Graph h = gen_geometric(300, 0.08, 17);
+  EXPECT_EQ(g.num_edges(), h.num_edges());
+}
+
+TEST(Generators, PlantedKColorableRespectsGroups) {
+  const NodeId k = 5;
+  const Graph g = gen_planted_kcolorable(200, k, 0.3, 23);
+  // The chromatic number is at most k; check indirectly: the graph has no
+  // clique of size k+1 among any k+1 nodes we test greedily. Cheap proxy:
+  // max degree below n and edges only across groups means greedy with k*2
+  // colors succeeds — full verification happens in coloring tests.
+  EXPECT_GT(g.num_edges(), 0u);
+  EXPECT_LT(g.max_degree(), 200u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  const Graph g = gen_random_tree(500, 31);
+  EXPECT_EQ(g.num_edges(), 499u);
+  // Connected: BFS reaches everyone.
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const NodeId u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        ++count;
+        q.push(u);
+      }
+    }
+  }
+  EXPECT_EQ(count, g.num_nodes());
+}
+
+}  // namespace
+}  // namespace detcol

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Graph, BasicConstruction) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.size_words(), 4u + 6u);
+}
+
+TEST(Graph, DeduplicatesAndNormalizes) {
+  const std::vector<Edge> edges = {{1, 0}, {0, 1}, {1, 0}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(Graph, RejectsSelfLoopsAndOutOfRange) {
+  const std::vector<Edge> loop = {{2, 2}};
+  EXPECT_THROW(Graph::from_edges(3, loop), CheckError);
+  const std::vector<Edge> oob = {{0, 5}};
+  EXPECT_THROW(Graph::from_edges(3, oob), CheckError);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const std::vector<Edge> edges = {{3, 0}, {1, 0}, {2, 0}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  const std::vector<Edge> edges = {{0, 1}, {2, 3}, {1, 3}};
+  const Graph g = Graph::from_edges(5, edges);
+  const auto out = g.edge_list();
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& [u, v] : out) EXPECT_LT(u, v);
+  const Graph g2 = Graph::from_edges(5, out);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, std::vector<Edge>{});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, HasEdge) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(InducedSubgraph, PreservesInternalEdges) {
+  // Path 0-1-2-3-4; induce on {1,2,3}.
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const Graph g = Graph::from_edges(5, edges);
+  const std::vector<NodeId> nodes = {1, 2, 3};
+  const Graph sub = induced_subgraph(g, nodes);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 1-2 and 2-3 survive
+  EXPECT_TRUE(sub.has_edge(0, 1));  // local ids
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 2));
+}
+
+TEST(InducedSubgraph, RespectsGivenOrder) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  const std::vector<NodeId> nodes = {2, 0};  // unsorted on purpose
+  const Graph sub = induced_subgraph(g, nodes);
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.num_edges(), 0u);  // 2 and 0 are not adjacent
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Graph g = Graph::from_edges(3, std::vector<Edge>{{0, 1}});
+  const Graph sub = induced_subgraph(g, std::vector<NodeId>{});
+  EXPECT_EQ(sub.num_nodes(), 0u);
+}
+
+TEST(InducedSubgraph, DuplicateRejected) {
+  const Graph g = Graph::from_edges(3, std::vector<Edge>{{0, 1}});
+  const std::vector<NodeId> dup = {1, 1};
+  EXPECT_THROW(induced_subgraph(g, dup), CheckError);
+}
+
+TEST(InducedSubgraph, FullSelectionIsIsomorphic) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  const std::vector<NodeId> all = {0, 1, 2, 3};
+  const Graph sub = induced_subgraph(g, all);
+  EXPECT_EQ(sub.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(sub.degree(v), g.degree(v));
+}
+
+}  // namespace
+}  // namespace detcol

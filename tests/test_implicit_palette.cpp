@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/implicit_palette.hpp"
+#include "graph/palette.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(ImplicitPalette, StartsFull) {
+  ImplicitPaletteStore s(3, 10);
+  EXPECT_EQ(s.palette_size(0), 10u);
+  EXPECT_TRUE(s.contains(2, 9));
+  EXPECT_FALSE(s.contains(2, 10));
+  const auto m = s.materialize(1);
+  EXPECT_EQ(m.size(), 10u);
+  EXPECT_EQ(m.front(), 0u);
+  EXPECT_EQ(m.back(), 9u);
+}
+
+TEST(ImplicitPalette, RemoveColor) {
+  ImplicitPaletteStore s(1, 5);
+  s.remove_color(0, 2);
+  EXPECT_FALSE(s.contains(0, 2));
+  EXPECT_EQ(s.palette_size(0), 4u);
+  s.remove_color(0, 2);  // idempotent
+  EXPECT_EQ(s.palette_size(0), 4u);
+}
+
+TEST(ImplicitPalette, RestrictionMatchesExplicit) {
+  const Color k = 64;
+  ImplicitPaletteStore s(2, k);
+  PaletteSet explicit_pal = PaletteSet::uniform(2, k);
+  const auto h2 = KWiseHash::from_u64_seed(77, 4, 3);
+  const auto id = s.add_hash(h2);
+  // Node 0 restricted to bin 2, node 1 to bin 1.
+  s.push_restriction(0, id, 2);
+  s.push_restriction(1, id, 1);
+  explicit_pal.restrict(0, [&](Color c) { return h2(c) + 1 == 2; });
+  explicit_pal.restrict(1, [&](Color c) { return h2(c) + 1 == 1; });
+  for (NodeId v = 0; v < 2; ++v) {
+    const auto got = s.materialize(v);
+    const auto want = explicit_pal.palette(v);
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  }
+}
+
+TEST(ImplicitPalette, ChainedRestrictionsCompose) {
+  const Color k = 128;
+  ImplicitPaletteStore s(1, k);
+  PaletteSet explicit_pal = PaletteSet::uniform(1, k);
+  const auto h_a = KWiseHash::from_u64_seed(1, 4, 4);
+  const auto h_b = KWiseHash::from_u64_seed(2, 4, 2);
+  const auto ia = s.add_hash(h_a);
+  const auto ib = s.add_hash(h_b);
+  s.push_restriction(0, ia, 3);
+  s.push_restriction(0, ib, 1);
+  s.remove_color(0, 5);
+  explicit_pal.restrict(0, [&](Color c) { return h_a(c) + 1 == 3; });
+  explicit_pal.restrict(0, [&](Color c) { return h_b(c) + 1 == 1; });
+  explicit_pal.remove_color(0, 5);
+  const auto got = s.materialize(0);
+  const auto want = explicit_pal.palette(0);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+}
+
+TEST(ImplicitPalette, SpaceGrowsWithOperationsNotColors) {
+  const Color k = 1000;
+  ImplicitPaletteStore s(100, k);
+  const std::uint64_t base = s.space_words();
+  EXPECT_LE(base, 200u);  // ~n words of chain heads, no palette storage
+  const auto h = KWiseHash::from_u64_seed(3, 4, 5);
+  const auto id = s.add_hash(h);
+  for (NodeId v = 0; v < 100; ++v) s.push_restriction(v, id, 1);
+  // One hash (c+1 words) + 100 chain entries.
+  EXPECT_LE(s.space_words(), base + 5 + 100);
+  // Explicit storage would be 100 * 1000 words.
+  EXPECT_LT(s.space_words() * 100, std::uint64_t{100} * k);
+}
+
+TEST(ImplicitPalette, UnknownHashRejected) {
+  ImplicitPaletteStore s(1, 4);
+  EXPECT_THROW(s.push_restriction(0, 3, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace detcol

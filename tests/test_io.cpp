@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Io, RoundTripThroughStream) {
+  const Graph g = gen_gnp(120, 0.05, 7);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(h.degree(v), g.degree(v));
+  }
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# header comment\n3 2\n0 1 # inline\n\n1 2\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, MissingHeaderRejected) {
+  std::stringstream ss("# only comments\n");
+  EXPECT_THROW(read_edge_list(ss), CheckError);
+}
+
+TEST(Io, EdgeCountMismatchRejected) {
+  std::stringstream ss("3 5\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), CheckError);
+}
+
+TEST(Io, FileRoundTrip) {
+  const Graph g = gen_ring(12);
+  const std::string path = "/tmp/detcolor_io_test.edges";
+  write_edge_list_file(path, g);
+  const Graph h = read_edge_list_file(path);
+  EXPECT_EQ(h.num_edges(), 12u);
+}
+
+TEST(Io, MissingFileRejected) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/nope.edges"), CheckError);
+}
+
+}  // namespace
+}  // namespace detcol

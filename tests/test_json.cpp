@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats_export.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Json, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(std::uint64_t{1});
+  w.key("b").value("x");
+  w.key("c").value(true);
+  w.key("d").value(1.5);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":true,"d":1.5})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array();
+  w.value(std::uint64_t{1}).value(std::uint64_t{2});
+  w.begin_object().key("y").value(std::int64_t{-3}).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2,{"y":-3}]})");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  JsonWriter w;
+  w.begin_object();
+  w.key("weird\nkey").value("tab\there");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"weird\\nkey\":\"tab\\there\"}");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), CheckError);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.end_object(), CheckError);  // dangling key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("nope"), CheckError);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), CheckError);  // unclosed scope
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("x");
+    EXPECT_THROW(w.value(std::nan("")), CheckError);
+  }
+}
+
+TEST(StatsExport, RoundTripsARealRun) {
+  const Graph g = gen_gnp(400, 0.05, 3);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  ColorReduceConfig cfg;
+  cfg.part.collect_factor = 2.0;
+  const auto r = color_reduce(g, pal, cfg);
+  const std::string json = result_to_json(r);
+  // Structural sanity: keys present, braces balanced, numbers embedded.
+  EXPECT_NE(json.find("\"num_partitions\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+  EXPECT_NE(json.find("\"total_rounds\":"), std::string::npos);
+  std::int64_t depth = 0;
+  for (const char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(StatsExport, LedgerOnly) {
+  RoundLedger l;
+  l.charge("phase-a", 3, 10);
+  const auto json = ledger_to_json(l);
+  EXPECT_EQ(json,
+            R"({"total_rounds":3,"total_words":10,"phases":{"phase-a":{"rounds":3,"words":10}}})");
+}
+
+TEST(StatsExport, WritesFile) {
+  write_json_file("/tmp/detcolor_stats_test.json", "{}");
+  EXPECT_THROW(write_json_file("/nonexistent/x.json", "{}"), CheckError);
+}
+
+}  // namespace
+}  // namespace detcol

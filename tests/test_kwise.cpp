@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "hashing/field.hpp"
+#include "hashing/kwise.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(KWise, DeterministicForSameSeed) {
+  const auto h1 = KWiseHash::from_u64_seed(99, 4, 16);
+  const auto h2 = KWiseHash::from_u64_seed(99, 4, 16);
+  for (std::uint64_t x = 0; x < 1000; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(KWise, DifferentSeedsDiffer) {
+  const auto h1 = KWiseHash::from_u64_seed(1, 4, 1 << 20);
+  const auto h2 = KWiseHash::from_u64_seed(2, 4, 1 << 20);
+  int differing = 0;
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    if (h1(x) != h2(x)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(KWise, RangeRespected) {
+  const auto h = KWiseHash::from_u64_seed(7, 4, 13);
+  for (std::uint64_t x = 0; x < 10000; ++x) ASSERT_LT(h(x), 13u);
+}
+
+TEST(KWise, SeedBitsFormula) {
+  EXPECT_EQ(KWiseHash::seed_bits(1), 64u);
+  EXPECT_EQ(KWiseHash::seed_bits(4), 256u);
+  EXPECT_EQ(KWiseHash::seed_bits(8), 512u);
+}
+
+TEST(KWise, IndependenceMatchesCoefficientCount) {
+  const auto h = KWiseHash::from_u64_seed(0, 6, 10);
+  EXPECT_EQ(h.independence(), 6u);
+  EXPECT_EQ(h.coefficients().size(), 6u);
+}
+
+TEST(KWise, ConstantPolynomialIsConstant) {
+  // Degree-0 polynomial: h(x) = a_0 for all x.
+  std::vector<std::uint64_t> coeffs = {12345};
+  const KWiseHash h(coeffs, 100);
+  const auto v = h(0);
+  for (std::uint64_t x = 1; x < 100; ++x) EXPECT_EQ(h(x), v);
+}
+
+TEST(KWise, LinearPolynomialEvaluation) {
+  // h(x) = 3x + 5 in the field; check via field_eval.
+  std::vector<std::uint64_t> coeffs = {5, 3};
+  const KWiseHash h(coeffs, 1);
+  EXPECT_EQ(h.field_eval(0), 5u);
+  EXPECT_EQ(h.field_eval(1), 8u);
+  EXPECT_EQ(h.field_eval(10), 35u);
+  EXPECT_EQ(h.field_eval(kMersenne61), 5u);  // input reduced to 0
+}
+
+TEST(KWise, MarginalsNearUniform) {
+  // Average over many seeds: each input lands in each bucket ~uniformly.
+  const std::uint64_t range = 8;
+  std::map<std::uint64_t, int> counts;
+  const int seeds = 8000;
+  for (int s = 0; s < seeds; ++s) {
+    const auto h = KWiseHash::from_u64_seed(s, 4, range);
+    ++counts[h(42)];
+  }
+  for (std::uint64_t b = 0; b < range; ++b) {
+    EXPECT_NEAR(counts[b], seeds / 8, seeds / 40) << "bucket " << b;
+  }
+}
+
+TEST(KWise, PairwiseJointNearUniform) {
+  // 2-wise independence check over seeds: the joint distribution of
+  // (h(1), h(2)) should be near uniform over range^2 cells.
+  const std::uint64_t range = 4;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> counts;
+  const int seeds = 16000;
+  for (int s = 0; s < seeds; ++s) {
+    const auto h = KWiseHash::from_u64_seed(s * 31 + 7, 4, range);
+    ++counts[{h(1), h(2)}];
+  }
+  const double expect = seeds / 16.0;
+  for (std::uint64_t a = 0; a < range; ++a) {
+    for (std::uint64_t b = 0; b < range; ++b) {
+      const int got = counts[std::make_pair(a, b)];
+      EXPECT_NEAR(got, expect, expect * 0.2)
+          << "cell (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(KWise, EmptySeedRejected) {
+  std::vector<std::uint64_t> empty;
+  EXPECT_THROW(KWiseHash(empty, 4), CheckError);
+  EXPECT_THROW(KWiseHash::from_u64_seed(1, 4, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace detcol

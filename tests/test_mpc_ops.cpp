@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/mpc_ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+namespace mpc {
+namespace {
+
+std::vector<std::uint64_t> random_items(std::size_t k, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> v(k);
+  for (auto& x : v) x = rng.next_below(1 << 20);
+  return v;
+}
+
+TEST(Distribute, RespectsHalfCapacity) {
+  const auto items = random_items(1000, 1);
+  const auto d = distribute(items, 64);
+  EXPECT_EQ(d.total_items(), 1000u);
+  for (const auto& m : d.machine) EXPECT_LE(m.size(), 32u);
+  EXPECT_GE(d.num_machines(), 1000u / 32);
+}
+
+TEST(Distribute, TinySpaceRejected) {
+  EXPECT_THROW(distribute({1, 2, 3}, 4), CheckError);
+}
+
+TEST(SampleSort, SortsGlobally) {
+  const auto items = random_items(5000, 2);
+  auto d = distribute(items, 512);
+  MpcSim sim(512, 1u << 22);
+  const auto rounds = sample_sort(d, sim);
+  EXPECT_GE(rounds, 3u);  // sample + splitters + exchange
+  const auto out = d.gather();
+  auto want = items;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(out, want);
+}
+
+TEST(SampleSort, SingleMachineNoCommunication) {
+  const auto items = random_items(50, 3);
+  auto d = distribute(items, 1024);
+  ASSERT_EQ(d.num_machines(), 1u);
+  MpcSim sim(1024, 1 << 16);
+  EXPECT_EQ(sample_sort(d, sim), 0u);
+  const auto out = d.gather();
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(SampleSort, DuplicateHeavyKeys) {
+  std::vector<std::uint64_t> items(4000, 7);  // all equal
+  for (std::size_t i = 0; i < 100; ++i) items[i * 17] = i;
+  auto d = distribute(items, 4096);
+  MpcSim sim(4096, 1u << 22);
+  sample_sort(d, sim);
+  const auto out = d.gather();
+  auto want = items;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(out, want);
+}
+
+TEST(SampleSort, EmptyInput) {
+  auto d = distribute({}, 64);
+  MpcSim sim(64, 4096);
+  EXPECT_EQ(sample_sort(d, sim), 0u);
+}
+
+TEST(SampleSort, SpaceBoundEnforcedOnSkew) {
+  // All keys equal: every item lands in one bucket; with too little space
+  // the guarantee breaks and the primitive must refuse loudly.
+  std::vector<std::uint64_t> items(2000, 42);
+  auto d = distribute(items, 64);  // 63 machines, bucket of 2000 >> 64
+  MpcSim sim(64, 1u << 22);
+  EXPECT_THROW(sample_sort(d, sim), CheckError);
+}
+
+TEST(PrefixSums, ExclusivePrefixPerMachine) {
+  std::vector<std::uint64_t> items(100);
+  std::iota(items.begin(), items.end(), 1);  // 1..100, total 5050
+  auto d = distribute(items, 32);
+  MpcSim sim(32, 1 << 16);
+  const auto prefix = machine_prefix_sums(d, sim);
+  ASSERT_EQ(prefix.size(), d.num_machines());
+  EXPECT_EQ(prefix[0], 0u);
+  std::uint64_t running = 0;
+  for (std::uint64_t i = 0; i < d.num_machines(); ++i) {
+    EXPECT_EQ(prefix[i], running);
+    for (const auto x : d.machine[i]) running += x;
+  }
+  EXPECT_EQ(running, 5050u);
+}
+
+TEST(PrefixSums, ChargesConstantRounds) {
+  const auto items = random_items(300, 5);
+  auto d = distribute(items, 64);
+  MpcSim sim(64, 1 << 16);
+  machine_prefix_sums(d, sim);
+  EXPECT_LE(sim.ledger().total_rounds(), 4u);
+}
+
+}  // namespace
+}  // namespace mpc
+}  // namespace detcol

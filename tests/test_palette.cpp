@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/palette.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Palette, UniformPalettes) {
+  const PaletteSet p = PaletteSet::uniform(3, 5);
+  EXPECT_EQ(p.num_nodes(), 3u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(p.palette_size(v), 5u);
+    for (Color c = 0; c < 5; ++c) EXPECT_TRUE(p.contains(v, c));
+    EXPECT_FALSE(p.contains(v, 5));
+  }
+  EXPECT_EQ(p.total_size(), 15u);
+}
+
+TEST(Palette, DeltaPlusOne) {
+  const Graph g = gen_ring(6);
+  const PaletteSet p = PaletteSet::delta_plus_one(g);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(p.palette_size(v), 3u);
+}
+
+TEST(Palette, RandomListsDistinctAndSized) {
+  const Graph g = gen_gnp(100, 0.1, 7);
+  const Color space = 10000;
+  const PaletteSet p = PaletteSet::random_lists(g, space, 5);
+  const std::size_t want = static_cast<std::size_t>(g.max_degree()) + 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto pal = p.palette(v);
+    EXPECT_EQ(pal.size(), want);
+    std::set<Color> uniq(pal.begin(), pal.end());
+    EXPECT_EQ(uniq.size(), pal.size());
+    for (const Color c : pal) EXPECT_LT(c, space);
+  }
+  // Deterministic.
+  const PaletteSet q = PaletteSet::random_lists(g, space, 5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(std::equal(p.palette(v).begin(), p.palette(v).end(),
+                           q.palette(v).begin()));
+  }
+}
+
+TEST(Palette, DegPlusOneLists) {
+  const Graph g = gen_power_law(300, 2.5, 6.0, 9);
+  const PaletteSet p = PaletteSet::deg_plus_one_lists(g, 100000, 3);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(p.palette_size(v), static_cast<std::size_t>(g.degree(v)) + 1);
+  }
+}
+
+TEST(Palette, RestrictKeepsPredicate) {
+  PaletteSet p = PaletteSet::uniform(1, 10);
+  p.restrict(0, [](Color c) { return c % 2 == 0; });
+  EXPECT_EQ(p.palette_size(0), 5u);
+  EXPECT_TRUE(p.contains(0, 4));
+  EXPECT_FALSE(p.contains(0, 3));
+}
+
+TEST(Palette, RemoveColorIdempotent) {
+  PaletteSet p = PaletteSet::uniform(1, 4);
+  p.remove_color(0, 2);
+  EXPECT_EQ(p.palette_size(0), 3u);
+  p.remove_color(0, 2);  // no-op
+  EXPECT_EQ(p.palette_size(0), 3u);
+  p.remove_color(0, 99);  // absent
+  EXPECT_EQ(p.palette_size(0), 3u);
+}
+
+TEST(Palette, Truncate) {
+  PaletteSet p = PaletteSet::uniform(1, 10);
+  p.truncate(0, 4);
+  EXPECT_EQ(p.palette_size(0), 4u);
+  p.truncate(0, 8);  // no growth
+  EXPECT_EQ(p.palette_size(0), 4u);
+}
+
+TEST(Palette, ConstructorRejectsDuplicates) {
+  std::vector<std::vector<Color>> bad = {{1, 1, 2}};
+  EXPECT_THROW(PaletteSet{std::move(bad)}, CheckError);
+}
+
+TEST(Palette, ConstructorSortsInput) {
+  std::vector<std::vector<Color>> in = {{5, 1, 3}};
+  const PaletteSet p{std::move(in)};
+  const auto pal = p.palette(0);
+  EXPECT_TRUE(std::is_sorted(pal.begin(), pal.end()));
+}
+
+}  // namespace
+}  // namespace detcol

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/invariants.hpp"
+#include "core/partition.hpp"
+#include "graph/generators.hpp"
+
+namespace detcol {
+namespace {
+
+Instance make_instance(Graph g, double ell) {
+  Instance inst;
+  inst.orig.resize(g.num_nodes());
+  std::iota(inst.orig.begin(), inst.orig.end(), NodeId{0});
+  inst.graph = std::move(g);
+  inst.ell = ell;
+  return inst;
+}
+
+TEST(Partition, MeetsLemma39Targets) {
+  const Graph g = gen_gnp(800, 0.05, 13);  // Delta ~ 40
+  const Instance inst = make_instance(g, g.max_degree());
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  PartitionParams params;
+  CliqueSim sim(800);
+  const auto pr = partition(inst, pal, 800, params, &sim, 1);
+  // Derandomized guarantees: no bad bins, G0 within the O(n) budget.
+  EXPECT_EQ(pr.cls.num_bad_bins, 0u);
+  EXPECT_LE(pr.cls.cost_size, params.g0_budget * 800.0);
+  EXPECT_TRUE(pr.seed.met_threshold);
+  EXPECT_GE(pr.num_bins, 2u);
+  EXPECT_GT(sim.ledger().total_rounds(), 0u);
+}
+
+TEST(Partition, GoodColorBinNodesAreRecursivelyColorable) {
+  const Graph g = gen_random_regular(600, 32, 7);
+  const Instance inst = make_instance(g, g.max_degree());
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  PartitionParams params;
+  const auto pr = partition(inst, pal, 600, params, nullptr, 2);
+  const std::uint64_t b = pr.num_bins;
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    if (pr.cls.bin_of[v] != 0 && pr.cls.bin_of[v] != b) {
+      // The belt-and-braces guarantee: restricted palette beats bin degree.
+      EXPECT_GT(pr.cls.pal_in_bin[v], pr.cls.deg_in_bin[v]);
+    }
+  }
+}
+
+TEST(Partition, Deterministic) {
+  const Graph g = gen_gnp(300, 0.1, 5);
+  const Instance inst = make_instance(g, g.max_degree());
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  PartitionParams params;
+  const auto a = partition(inst, pal, 300, params, nullptr, 9);
+  const auto b = partition(inst, pal, 300, params, nullptr, 9);
+  EXPECT_EQ(a.cls.bin_of, b.cls.bin_of);
+  EXPECT_EQ(a.seed.cost, b.seed.cost);
+  // Different salt explores a different (but still valid) seed.
+  const auto c = partition(inst, pal, 300, params, nullptr, 10);
+  EXPECT_EQ(c.cls.num_bad_bins, 0u);
+}
+
+TEST(Partition, EllNextFollowsPaperFormula) {
+  const Graph g = gen_gnp(200, 0.2, 3);
+  const double ell = 1000.0;
+  const Instance inst = make_instance(g, ell);
+  // Palettes must exceed ell for Corollary 3.3 — give everyone 1001 colors.
+  const PaletteSet pal = PaletteSet::uniform(200, 1100);
+  PartitionParams params;
+  const auto pr = partition(inst, pal, 200, params, nullptr, 4);
+  EXPECT_DOUBLE_EQ(pr.ell_next, next_ell(ell, params));
+}
+
+TEST(Partition, InvariantPreservedAtRoot) {
+  // At the paper's starting point (ell = Delta, palettes Delta+1) Corollary
+  // 3.3 holds exactly.
+  const Graph g = gen_power_law(1000, 2.7, 10.0, 19);
+  const Instance inst = make_instance(g, g.max_degree());
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  PartitionParams params;
+  const auto rep = check_corollary_33(inst, pal, params);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+TEST(Partition, Lemma32CheckerOnChosenSeed) {
+  // On a dense random-regular graph at realistic scale, the checker reports
+  // how good nodes fare against the Lemma 3.2 conclusions. Condition (iii)
+  // (d' < p') must hold for color-bin nodes by construction.
+  const Graph g = gen_random_regular(500, 40, 3);
+  const Instance inst = make_instance(g, g.max_degree());
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  PartitionParams params;
+  const auto pr = partition(inst, pal, 500, params, nullptr, 6);
+  const auto rep = check_lemma_32(inst, pr.cls, params);
+  EXPECT_GT(rep.checked, 0u);
+  EXPECT_EQ(rep.viol_deg_lt_p, 0u) << rep.to_string();
+}
+
+TEST(Partition, ColorBinsReceiveDisjointPalettes) {
+  // The parallel recursion of Algorithm 1 is sound because the h2
+  // restriction hands different color bins *disjoint* palette shares.
+  const Graph g = gen_gnp(400, 0.1, 11);
+  const Instance inst = make_instance(g, g.max_degree());
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  PartitionParams params;
+  const auto pr = partition(inst, pal, 400, params, nullptr, 12);
+  const std::uint64_t b = pr.num_bins;
+  for (NodeId u = 0; u < inst.n(); ++u) {
+    const auto bu = pr.cls.bin_of[u];
+    if (bu == 0 || bu == b) continue;
+    for (const Color c : pal.palette(u)) {
+      if (pr.h2(c) + 1 != bu) continue;  // c is in u's share
+      // c must not be in the share of any other color bin.
+      for (std::uint64_t other = 1; other < b; ++other) {
+        if (other != bu) ASSERT_NE(pr.h2(c) + 1, other);
+      }
+    }
+  }
+}
+
+TEST(Partition, SparseGraphManyBadStillWithinBudget) {
+  // Very low degree: slacks swamp degrees, nearly everyone is good.
+  const Graph g = gen_ring(1000);
+  Instance inst = make_instance(g, 8.0);
+  const PaletteSet pal = PaletteSet::uniform(1000, 9);
+  PartitionParams params;
+  const auto pr = partition(inst, pal, 1000, params, nullptr, 8);
+  EXPECT_LE(pr.cls.cost_size, params.g0_budget * 1000.0);
+}
+
+}  // namespace
+}  // namespace detcol

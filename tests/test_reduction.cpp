@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "lowspace/reduction.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Reduction, SingleEdgeSharedColor) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  const std::vector<std::vector<Color>> pals = {{1, 2}, {2, 3}};
+  const ReductionGraph r = build_reduction(g, pals);
+  EXPECT_EQ(r.num_vertices, 4u);
+  EXPECT_EQ(r.num_conflict_edges, 1u);  // only color 2 is shared
+  // Vertex (0, color 2) is id base[0]+1; (1, color 2) is base[1]+0.
+  EXPECT_EQ(r.base[0], 0u);
+  EXPECT_EQ(r.base[1], 2u);
+  ASSERT_EQ(r.conflicts[1].size(), 1u);
+  EXPECT_EQ(r.conflicts[1][0], 2u);
+  ASSERT_EQ(r.conflicts[2].size(), 1u);
+  EXPECT_EQ(r.conflicts[2][0], 1u);
+}
+
+TEST(Reduction, NoSharedColorsNoEdges) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  const std::vector<std::vector<Color>> pals = {{1, 2}, {3, 4}};
+  const ReductionGraph r = build_reduction(g, pals);
+  EXPECT_EQ(r.num_conflict_edges, 0u);
+}
+
+TEST(Reduction, TruncatesToDegPlusOne) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  // Node 0 has degree 1 but palette of size 5: truncated to 2.
+  const std::vector<std::vector<Color>> pals = {{1, 2, 3, 4, 5}, {1, 2}};
+  const ReductionGraph r = build_reduction(g, pals);
+  EXPECT_EQ(r.palettes[0].size(), 2u);
+  EXPECT_EQ(r.num_vertices, 4u);
+}
+
+TEST(Reduction, NodeOfInverseOfBase) {
+  const Graph g = gen_ring(5);
+  std::vector<std::vector<Color>> pals(5, std::vector<Color>{0, 1, 2});
+  const ReductionGraph r = build_reduction(g, pals);
+  EXPECT_EQ(r.num_vertices, 15u);
+  for (std::uint64_t x = 0; x < r.num_vertices; ++x) {
+    const NodeId v = r.node_of(x);
+    EXPECT_GE(x, r.base[v]);
+    EXPECT_LT(x - r.base[v], r.palettes[v].size());
+  }
+}
+
+TEST(Reduction, ConflictCountMatchesPalette_Intersections) {
+  const Graph g = gen_complete(4);
+  std::vector<std::vector<Color>> pals(4, std::vector<Color>{0, 1, 2, 3});
+  const ReductionGraph r = build_reduction(g, pals);
+  // Every edge shares all 4 colors: 6 edges * 4 = 24 conflicts.
+  EXPECT_EQ(r.num_conflict_edges, 24u);
+  EXPECT_EQ(r.size_words(), 16u + 48u);
+}
+
+TEST(Reduction, RejectsUnsortedPalettes) {
+  const Graph g = Graph::from_edges(1, std::vector<Edge>{});
+  const std::vector<std::vector<Color>> pals = {{3, 1}};
+  EXPECT_THROW(build_reduction(g, pals), CheckError);
+}
+
+TEST(Reduction, RejectsSizeMismatch) {
+  const Graph g = gen_ring(3);
+  const std::vector<std::vector<Color>> pals = {{0}, {1}};
+  EXPECT_THROW(build_reduction(g, pals), CheckError);
+}
+
+}  // namespace
+}  // namespace detcol

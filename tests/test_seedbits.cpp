@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "derand/seedbits.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(SeedBits, SetGetRoundTrip) {
+  SeedBits s(100);
+  s.set_bits(0, 8, 0xAB);
+  s.set_bits(60, 10, 0x3FF);  // straddles a word boundary
+  s.set_bits(92, 8, 0x5C);
+  EXPECT_EQ(s.get_bits(0, 8), 0xABu);
+  EXPECT_EQ(s.get_bits(60, 10), 0x3FFu);
+  EXPECT_EQ(s.get_bits(92, 8), 0x5Cu);
+  EXPECT_EQ(s.get_bits(8, 8), 0u);  // untouched bits are zero
+}
+
+TEST(SeedBits, OverwriteClearsOldBits) {
+  SeedBits s(16);
+  s.set_bits(0, 8, 0xFF);
+  s.set_bits(0, 8, 0x0F);
+  EXPECT_EQ(s.get_bits(0, 8), 0x0Fu);
+}
+
+TEST(SeedBits, BoundsChecked) {
+  SeedBits s(10);
+  EXPECT_THROW(s.set_bits(5, 6, 0), CheckError);
+  EXPECT_THROW(s.get_bits(0, 11), CheckError);
+  EXPECT_THROW(SeedBits(0), CheckError);
+}
+
+TEST(SeedBits, ExpandDeterministicAndDistinct) {
+  const SeedBits a = SeedBits::expand(128, 7, 0);
+  const SeedBits b = SeedBits::expand(128, 7, 0);
+  const SeedBits c = SeedBits::expand(128, 7, 1);
+  const SeedBits d = SeedBits::expand(128, 8, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(SeedBits, ExpandClearsTailBits) {
+  const SeedBits s = SeedBits::expand(70, 1, 2);
+  // Bits beyond 70 in the second word must be zero: get high chunk.
+  EXPECT_EQ(s.get_bits(64, 6), s.words()[1] & 0x3F);
+  EXPECT_EQ(s.words()[1] >> 6, 0u);
+}
+
+TEST(SeedBits, FillSuffixPreservesPrefix) {
+  SeedBits s(96);
+  s.set_bits(0, 16, 0xBEEF);
+  const auto before = s.get_bits(0, 16);
+  s.fill_suffix(16, 5, 0);
+  EXPECT_EQ(s.get_bits(0, 16), before);
+  // Suffix is actually filled (some bit set with overwhelming probability).
+  bool any = false;
+  for (unsigned pos = 16; pos < 96; pos += 8) {
+    if (s.get_bits(pos, 8) != 0) any = true;
+  }
+  EXPECT_TRUE(any);
+  // Deterministic.
+  SeedBits t(96);
+  t.set_bits(0, 16, 0xBEEF);
+  t.fill_suffix(16, 5, 0);
+  EXPECT_EQ(s, t);
+}
+
+TEST(SeedBits, WordRange) {
+  SeedBits s(256);
+  s.set_bits(64, 16, 0x1234);
+  const auto words = s.word_range(1, 1);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0] & 0xFFFF, 0x1234u);
+  EXPECT_THROW(s.word_range(3, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace detcol

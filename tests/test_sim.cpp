@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clique_sim.hpp"
+#include "sim/ledger.hpp"
+#include "sim/mpc_sim.hpp"
+#include "sim/network.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(Ledger, ChargesAccumulate) {
+  RoundLedger l;
+  l.charge("a", 2, 10);
+  l.charge("a", 3, 5);
+  l.charge("b", 1);
+  EXPECT_EQ(l.total_rounds(), 6u);
+  EXPECT_EQ(l.total_words(), 15u);
+  EXPECT_EQ(l.by_phase().at("a").rounds, 5u);
+  EXPECT_EQ(l.by_phase().at("b").words, 0u);
+}
+
+TEST(Ledger, SequentialMerge) {
+  RoundLedger a, b;
+  a.charge("x", 2);
+  b.charge("x", 3, 7);
+  b.charge("y", 1);
+  a.merge_sequential(b);
+  EXPECT_EQ(a.total_rounds(), 6u);
+  EXPECT_EQ(a.by_phase().at("x").rounds, 5u);
+  EXPECT_EQ(a.total_words(), 7u);
+}
+
+TEST(Ledger, ParallelMergeTakesCriticalPath) {
+  RoundLedger parent;
+  parent.charge("setup", 1);
+  RoundLedger c1, c2, c3;
+  c1.charge("work", 10, 100);
+  c2.charge("work", 4, 200);
+  c3.charge("work", 7, 50);
+  std::vector<RoundLedger> group = {c1, c2, c3};
+  parent.merge_parallel(group);
+  EXPECT_EQ(parent.total_rounds(), 11u);   // 1 + max(10,4,7)
+  EXPECT_EQ(parent.total_words(), 350u);   // words always sum
+  EXPECT_EQ(parent.by_phase().at("work").rounds, 10u);
+}
+
+TEST(Ledger, ParallelMergeEmptyGroupIsNoop) {
+  RoundLedger l;
+  l.charge("a", 1);
+  l.merge_parallel(std::vector<RoundLedger>{});
+  EXPECT_EQ(l.total_rounds(), 1u);
+}
+
+TEST(CliqueSim, ChargesAndTracksPeaks) {
+  CliqueSim sim(100);
+  sim.lenzen_route(500, 50, "route");
+  sim.broadcast(10, "bcast");
+  sim.aggregate(64, "agg");
+  sim.collect(200, "collect");
+  EXPECT_GT(sim.ledger().total_rounds(), 0u);
+  EXPECT_EQ(sim.peak_collect_words(), 200u);
+}
+
+TEST(CliqueSim, EnforcesLenzenPrecondition) {
+  CliqueSim sim(10, {}, /*route_slack=*/2.0);
+  EXPECT_THROW(sim.lenzen_route(100, 1000, "route"), CheckError);
+}
+
+TEST(CliqueSim, EnforcesCollectCapacity) {
+  CliqueSim sim(10, {}, 2.0, /*collect_slack=*/2.0);
+  EXPECT_THROW(sim.collect(100, "collect"), CheckError);
+  sim.collect(20, "collect");  // exactly at capacity is fine
+}
+
+TEST(CliqueSim, BigBroadcastChargesMore) {
+  CliqueSim a(10), b(10);
+  a.broadcast(5, "x");
+  b.broadcast(100, "x");  // 10 reps of the 2-round pattern
+  EXPECT_GT(b.ledger().total_rounds(), a.ledger().total_rounds());
+}
+
+TEST(MpcSim, SpaceEnforcement) {
+  MpcSim sim(100, 10000);
+  sim.sort(5000, "sort");
+  sim.prefix_sum(100, "ps", 10);
+  sim.gather(99, "gather");
+  EXPECT_THROW(sim.gather(101, "gather"), CheckError);
+  EXPECT_THROW(sim.sort(20000, "sort"), CheckError);
+  EXPECT_THROW(sim.route(50, 101, "route"), CheckError);
+}
+
+TEST(MpcSim, ResidentPeaksTracked) {
+  MpcSim sim(100, 10000);
+  sim.note_resident(50, 4000);
+  sim.note_resident(80, 2000);
+  EXPECT_EQ(sim.peak_local_words(), 80u);
+  EXPECT_EQ(sim.peak_total_words(), 4000u);
+  EXPECT_THROW(sim.note_resident(101, 200), CheckError);
+  EXPECT_THROW(sim.note_resident(10, 20000), CheckError);
+}
+
+TEST(Network, DeliversMessages) {
+  cc::Network net(4);
+  net.send(0, 1, 42);
+  net.send(2, 1, 43);
+  net.deliver();
+  const auto inbox = net.inbox(1);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(net.round(), 1u);
+  EXPECT_EQ(net.total_words_sent(), 2u);
+}
+
+TEST(Network, EnforcesPerLinkBandwidth) {
+  cc::Network net(3, 1);
+  net.send(0, 1, 1);
+  EXPECT_THROW(net.send(0, 1, 2), CheckError);  // same link, same round
+  net.deliver();
+  net.send(0, 1, 2);  // fresh round OK
+}
+
+TEST(Network, RejectsSelfSend) {
+  cc::Network net(3);
+  EXPECT_THROW(net.send(1, 1, 0), CheckError);
+}
+
+TEST(Network, BroadcastReachesEveryone) {
+  cc::Network net(5);
+  net.broadcast_one(2, 99);
+  for (std::uint32_t v = 0; v < 5; ++v) {
+    if (v == 2) continue;
+    ASSERT_EQ(net.inbox(v).size(), 1u);
+    EXPECT_EQ(net.inbox(v)[0].payload, 99u);
+    EXPECT_EQ(net.inbox(v)[0].src, 2u);
+  }
+}
+
+TEST(Network, AllSumAndMinUseTwoRoundsEach) {
+  cc::Network net(6);
+  const std::vector<std::uint64_t> vals = {3, 1, 4, 1, 5, 9};
+  EXPECT_EQ(net.all_sum(vals), 23u);
+  EXPECT_EQ(net.round(), 2u);
+  EXPECT_EQ(net.all_min(vals), 1u);
+  EXPECT_EQ(net.round(), 4u);
+}
+
+}  // namespace
+}  // namespace detcol
