@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "derand/seedbits.hpp"
@@ -48,6 +49,12 @@ struct SeedSelectConfig {
 };
 
 struct SeedSelectResult {
+  /// Starts from a placeholder seed; every other field keeps its default
+  /// (an explicit constructor, so partially-filled returns in the strategy
+  /// implementations stay clean under -Wmissing-field-initializers).
+  explicit SeedSelectResult(SeedBits initial_seed)
+      : seed(std::move(initial_seed)) {}
+
   SeedBits seed;
   double cost = 0.0;              // exact cost of the chosen seed
   bool met_threshold = false;     // cost <= tau

@@ -1,0 +1,730 @@
+// detcol — unified command-line driver for the detcolor library.
+//
+// Subcommands:
+//   gen     generate a graph and write it as an edge list
+//   color   color a graph (generated or read from file) and emit the coloring
+//   verify  check a coloring file against its graph and palettes
+//   stats   run ColorReduce and emit the full JSON stats document
+//
+// Coloring files are self-describing: the header records the exact generator
+// and palette flags that produced the instance, so `detcol verify` can
+// rebuild the graph and palettes deterministically without a separate graph
+// file:
+//
+//   # detcol coloring v1
+//   # graph: --gen=gnp --n=1000 --p=0.02 --seed=1
+//   # palette: --palette=delta1
+//   1000
+//   <color of node 0>
+//   ...
+//
+// Typical session:
+//   detcol color --n=1000 --p=0.02 --out=run.colors
+//   detcol verify --coloring=run.colors
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <limits>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/greedy.hpp"
+#include "baselines/mis_coloring.hpp"
+#include "baselines/random_trial.hpp"
+#include "baselines/randomized_reduce.hpp"
+#include "core/color_reduce.hpp"
+#include "core/stats_export.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "lowspace/low_space.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace detcol {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+
+const char kUsage[] = R"(detcol — deterministic (Δ+1)/(deg+1)-list coloring driver
+
+Usage: detcol <command> [--flags]
+
+Commands:
+  gen     Generate a graph, write "n m" + edge-per-line to --out (default stdout).
+  color   Color a graph and write a self-describing coloring file to --out.
+  verify  Check a coloring file; rebuilds graph/palettes from its header.
+  stats   Run ColorReduce and emit the full stats JSON to --out.
+  help    Show this message.
+
+Graph source (gen, color, stats):
+  --input=FILE       Read an edge list ("n m" header, one "u v" per line).
+  --gen=KIND         Generator when no --input: gnp (default), gnm, regular,
+                     powerlaw, grid, ring, complete, bipartite, geometric,
+                     planted, tree.
+  --n=N              Nodes (default 1000); also --m, --d, --p (default 0.02),
+                     --beta, --avgdeg, --rows, --cols, --a, --b, --radius,
+                     --k as each generator requires.
+  --seed=S           Generator seed (default 1); identical flags always
+                     reproduce the identical graph. Also the algorithm seed
+                     for --algo=trial/randreduce.
+
+Palettes (color, stats):
+  --palette=KIND     delta1 (default): uniform [Δ+1].
+                     lists:  (Δ+1)-lists from [0, --color-space).
+                     deg1:   (deg+1)-lists from [0, --color-space).
+  --color-space=C    Color universe for lists/deg1 (default 1048576).
+  --palette-seed=S   List-sampling seed (default 1).
+
+Algorithm (color):
+  --algo=NAME        reduce (default): ColorReduce, Theorem 1.1.
+                     lowspace: low-space MPC coloring, Theorem 1.4.
+                     greedy:   centralized sequential baseline.
+                     mis:      deterministic MIS-reduction baseline.
+                     trial:    randomized iterated color trial baseline.
+                     randreduce: ColorReduce with seed search disabled.
+
+Output (gen, color, stats):
+  --out=FILE         Write to FILE instead of stdout.
+  --stats=FILE       (color, reduce/randreduce only) also dump run JSON.
+  --quiet            Suppress the run summary on stderr.
+
+Verify:
+  --coloring=FILE    Coloring file to check (or first positional argument).
+  --graph=FILE       Override: check against this edge list instead of the
+                     header's generator spec.
+  --proper-only      Skip palette-membership checking.
+
+Exit status: 0 on success / valid coloring, 1 on failure or invalid
+coloring, 2 on usage errors.
+)";
+
+/// Bad invocation (exit 2) — distinct from CheckError, which is bad data /
+/// failed verification (exit 1). cmd_verify converts UsageError raised while
+/// re-parsing a coloring file's recorded spec into a data error: a corrupt
+/// header is a file problem, not a command-line problem.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void usage_error(const std::string& msg) { throw UsageError(msg); }
+
+// ---------------------------------------------------------------------------
+// Strict flag handling: ArgParser is deliberately permissive for benches and
+// examples, but a user-facing driver must reject typos and malformed numbers
+// (exit 2) rather than silently running a different instance.
+// ---------------------------------------------------------------------------
+
+std::uint64_t get_uint_strict(const ArgParser& args, const std::string& name,
+                              std::uint64_t fallback) {
+  if (!args.has(name)) return fallback;
+  const std::string s = args.get_string(name, "");
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  // strtoull silently wraps a leading '-', so require a digit up front.
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])) ||
+      *end != '\0' || errno == ERANGE) {
+    usage_error("flag --" + name + " expects an unsigned integer, got '" + s +
+                "'");
+  }
+  return v;
+}
+
+NodeId get_nodeid_strict(const ArgParser& args, const std::string& name,
+                         NodeId fallback) {
+  const std::uint64_t v = get_uint_strict(args, name, fallback);
+  if (v > std::numeric_limits<NodeId>::max()) {
+    usage_error("flag --" + name + " exceeds the node-id limit (2^32-1), got " +
+                std::to_string(v));
+  }
+  return static_cast<NodeId>(v);
+}
+
+/// For flags whose value is a path or name: a bare `--out` would otherwise
+/// read as the string "true" and e.g. write output to a file named "true".
+std::string get_value_flag(const ArgParser& args, const std::string& name,
+                           const std::string& fallback) {
+  if (args.was_bare(name)) {
+    usage_error("flag --" + name + " requires a value (--" + name + "=...)");
+  }
+  return args.get_string(name, fallback);
+}
+
+double get_double_strict(const ArgParser& args, const std::string& name,
+                         double fallback) {
+  if (!args.has(name)) return fallback;
+  const std::string s = args.get_string(name, "");
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || *end != '\0' || errno == ERANGE) {
+    usage_error("flag --" + name + " expects a number, got '" + s + "'");
+  }
+  return v;
+}
+
+bool get_bool_strict(const ArgParser& args, const std::string& name) {
+  if (!args.has(name)) return false;
+  const std::string s = args.get_string(name, "");
+  if (s == "true" || s == "1" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "no") return false;
+  usage_error("flag --" + name + " is boolean, got '" + s + "'");
+}
+
+constexpr std::initializer_list<const char*> kGraphFlags = {
+    "input", "gen",  "n", "m", "d",      "p", "beta", "avgdeg",
+    "rows",  "cols", "a", "b", "radius", "k", "seed"};
+constexpr std::initializer_list<const char*> kPaletteFlags = {
+    "palette", "color-space", "palette-seed"};
+
+/// Which graph flags each generator actually consumes. A flag from the graph
+/// family that the chosen source ignores is a misdirected invocation (the
+/// user probably meant a different --gen), not something to drop silently.
+void check_graph_flag_applicability(const ArgParser& args,
+                                    const std::string& kind,
+                                    std::initializer_list<const char*> used,
+                                    bool allow_algo_seed) {
+  for (const char* flag : kGraphFlags) {
+    if (std::string(flag) == "input" || std::string(flag) == "gen") continue;
+    // --seed is dual-role: for `color` it is also the trial/randreduce
+    // algorithm seed, so it is accepted there even when the generator is
+    // deterministic; for `gen`/`stats` a seed on ring/grid/complete is a
+    // misdirected flag like any other.
+    if (allow_algo_seed && std::string(flag) == "seed") continue;
+    if (!args.has(flag)) continue;
+    const bool applies = std::any_of(
+        used.begin(), used.end(),
+        [&](const char* u) { return std::string(u) == flag; });
+    if (!applies) {
+      usage_error("flag --" + std::string(flag) + " does not apply to " +
+                  kind);
+    }
+  }
+}
+
+std::vector<const char*> combine(std::initializer_list<const char*> a,
+                                 std::initializer_list<const char*> b = {},
+                                 std::initializer_list<const char*> c = {}) {
+  std::vector<const char*> out(a);
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+void reject_unknown_flags(const ArgParser& args,
+                          const std::vector<const char*>& allowed) {
+  for (const std::string& name : args.flag_names()) {
+    const bool known = std::any_of(allowed.begin(), allowed.end(),
+                                   [&](const char* a) { return name == a; });
+    if (!known) usage_error("unknown flag --" + name);
+  }
+}
+
+void reject_positionals(const ArgParser& args) {
+  if (!args.positional().empty()) {
+    usage_error("unexpected argument '" + args.positional().front() + "'");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction + the canonical flag spec recorded in coloring headers.
+// ---------------------------------------------------------------------------
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct GraphSource {
+  Graph graph;
+  std::string spec;  // "--gen=... --n=..." or "--input=path"
+};
+
+GraphSource build_graph(const ArgParser& args, bool allow_algo_seed) {
+  GraphSource out;
+  const auto check_flags = [&](const std::string& kind,
+                               std::initializer_list<const char*> used) {
+    check_graph_flag_applicability(args, kind, used, allow_algo_seed);
+  };
+  if (args.has("input")) {
+    if (args.has("gen")) {
+      usage_error("--gen does not apply with --input");
+    }
+    check_flags("--input", {});
+    const std::string path = get_value_flag(args, "input", "");
+    out.graph = read_edge_list_file(path);
+    // Record an absolute path: the coloring file may be verified from a
+    // different working directory.
+    out.spec = "--input=" + std::filesystem::absolute(path).string();
+    return out;
+  }
+  const std::string kind = get_value_flag(args, "gen", "gnp");
+  const auto n = get_nodeid_strict(args, "n", 1000);
+  const std::uint64_t seed = get_uint_strict(args, "seed", 1);
+  std::ostringstream spec;
+  spec << "--gen=" << kind;
+  try {
+  if (kind == "gnp") {
+    check_flags("--gen=gnp", {"n", "p", "seed"});
+    const double p = get_double_strict(args, "p", 0.02);
+    out.graph = gen_gnp(n, p, seed);
+    spec << " --n=" << n << " --p=" << fmt_double(p) << " --seed=" << seed;
+  } else if (kind == "gnm") {
+    check_flags("--gen=gnm", {"n", "m", "seed"});
+    // Default m = 4n, clamped to the number of possible edges so the
+    // default is always feasible (gen_gnm rejects m > n(n-1)/2).
+    const std::uint64_t max_m =
+        n == 0 ? 0 : std::uint64_t{n} * (n - 1) / 2;
+    const std::size_t m = get_uint_strict(
+        args, "m", std::min(std::uint64_t{4} * n, max_m));
+    out.graph = gen_gnm(n, m, seed);
+    spec << " --n=" << n << " --m=" << m << " --seed=" << seed;
+  } else if (kind == "regular") {
+    check_flags("--gen=regular", {"n", "d", "seed"});
+    const auto d = get_nodeid_strict(args, "d", 16);
+    out.graph = gen_random_regular(n, d, seed);
+    spec << " --n=" << n << " --d=" << d << " --seed=" << seed;
+  } else if (kind == "powerlaw") {
+    check_flags("--gen=powerlaw", {"n", "beta", "avgdeg", "seed"});
+    const double beta = get_double_strict(args, "beta", 2.5);
+    const double avgdeg = get_double_strict(args, "avgdeg", 8.0);
+    out.graph = gen_power_law(n, beta, avgdeg, seed);
+    spec << " --n=" << n << " --beta=" << fmt_double(beta)
+         << " --avgdeg=" << fmt_double(avgdeg) << " --seed=" << seed;
+  } else if (kind == "grid") {
+    check_flags("--gen=grid", {"rows", "cols"});
+    const auto rows = get_nodeid_strict(args, "rows", 32);
+    const auto cols = get_nodeid_strict(args, "cols", 32);
+    out.graph = gen_grid(rows, cols);
+    spec << " --rows=" << rows << " --cols=" << cols;
+  } else if (kind == "ring") {
+    check_flags("--gen=ring", {"n"});
+    out.graph = gen_ring(n);
+    spec << " --n=" << n;
+  } else if (kind == "complete") {
+    check_flags("--gen=complete", {"n"});
+    out.graph = gen_complete(n);
+    spec << " --n=" << n;
+  } else if (kind == "bipartite") {
+    check_flags("--gen=bipartite", {"n", "a", "b", "p", "seed"});
+    const auto a = get_nodeid_strict(args, "a", n / 2);
+    const auto b = get_nodeid_strict(args, "b", n / 2);
+    const double p = get_double_strict(args, "p", 0.02);
+    out.graph = gen_bipartite(a, b, p, seed);
+    spec << " --a=" << a << " --b=" << b << " --p=" << fmt_double(p)
+         << " --seed=" << seed;
+  } else if (kind == "geometric") {
+    check_flags("--gen=geometric", {"n", "radius", "seed"});
+    const double radius = get_double_strict(args, "radius", 0.05);
+    out.graph = gen_geometric(n, radius, seed);
+    spec << " --n=" << n << " --radius=" << fmt_double(radius)
+         << " --seed=" << seed;
+  } else if (kind == "planted") {
+    check_flags("--gen=planted", {"n", "k", "p", "seed"});
+    const auto k = get_nodeid_strict(args, "k", 8);
+    const double p = get_double_strict(args, "p", 0.02);
+    out.graph = gen_planted_kcolorable(n, k, p, seed);
+    spec << " --n=" << n << " --k=" << k << " --p=" << fmt_double(p)
+         << " --seed=" << seed;
+  } else if (kind == "tree") {
+    check_flags("--gen=tree", {"n", "seed"});
+    out.graph = gen_random_tree(n, seed);
+    spec << " --n=" << n << " --seed=" << seed;
+  } else {
+    usage_error("unknown --gen kind '" + kind + "'");
+  }
+  } catch (const CheckError& e) {
+    // Out-of-domain parameters (p > 1, infeasible m, n too small) are bad
+    // invocations, not data errors.
+    usage_error(std::string("invalid generator parameters: ") + e.what());
+  }
+  out.spec = spec.str();
+  return out;
+}
+
+struct PaletteSource {
+  PaletteSet palettes;
+  std::string spec;
+};
+
+PaletteSource build_palettes(const ArgParser& args, const Graph& g) {
+  PaletteSource out;
+  const std::string kind = get_value_flag(args, "palette", "delta1");
+  const auto space = static_cast<Color>(get_uint_strict(args, "color-space", 1u << 20));
+  const std::uint64_t pseed = get_uint_strict(args, "palette-seed", 1);
+  std::ostringstream spec;
+  spec << "--palette=" << kind;
+  try {
+  if (kind == "delta1") {
+    if (args.has("color-space") || args.has("palette-seed")) {
+      usage_error(
+          "--color-space/--palette-seed only apply to --palette=lists or "
+          "deg1");
+    }
+    out.palettes = PaletteSet::delta_plus_one(g);
+  } else if (kind == "lists") {
+    out.palettes = PaletteSet::random_lists(g, space, pseed);
+    spec << " --color-space=" << space << " --palette-seed=" << pseed;
+  } else if (kind == "deg1") {
+    out.palettes = PaletteSet::deg_plus_one_lists(g, space, pseed);
+    spec << " --color-space=" << space << " --palette-seed=" << pseed;
+  } else {
+    usage_error("unknown --palette kind '" + kind + "'");
+  }
+  } catch (const CheckError& e) {
+    usage_error(std::string("invalid palette parameters: ") + e.what());
+  }
+  out.spec = spec.str();
+  return out;
+}
+
+/// Re-parse a recorded "--key=value ..." spec line through ArgParser.
+ArgParser parse_spec(const std::string& spec) {
+  std::vector<std::string> tokens{"detcol-spec"};
+  if (spec.rfind("--input=", 0) == 0) {
+    // An --input spec is a single flag whose value is a file path; paths may
+    // contain spaces, so never tokenize it.
+    tokens.push_back(spec);
+  } else {
+    std::istringstream is(spec);
+    std::string tok;
+    while (is >> tok) tokens.push_back(tok);
+  }
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size());
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+// ---------------------------------------------------------------------------
+// Output helpers.
+// ---------------------------------------------------------------------------
+
+/// Writes via `fn` to --out if set, else to stdout.
+template <typename Fn>
+void with_output(const ArgParser& args, Fn&& fn) {
+  const std::string out = get_value_flag(args, "out", "-");
+  if (out == "-" || out.empty()) {
+    fn(std::cout);
+    std::cout.flush();
+    DC_CHECK(std::cout.good(), "write to stdout failed");
+  } else {
+    std::ofstream os(out);
+    DC_CHECK(os.good(), "cannot open ", out, " for writing");
+    fn(os);
+    os.flush();
+    DC_CHECK(os.good(), "write to ", out, " failed");
+  }
+}
+
+std::size_t count_distinct_colors(const Coloring& coloring) {
+  std::vector<Color> used;
+  used.reserve(coloring.color.size());
+  for (const Color c : coloring.color) {
+    if (c != Coloring::kUncolored) used.push_back(c);
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used.size();
+}
+
+void write_coloring(std::ostream& os, const Coloring& coloring,
+                    const std::string& graph_spec,
+                    const std::string& palette_spec) {
+  os << "# detcol coloring v1\n";
+  os << "# graph: " << graph_spec << '\n';
+  os << "# palette: " << palette_spec << '\n';
+  os << coloring.color.size() << '\n';
+  for (const Color c : coloring.color) os << c << '\n';
+}
+
+struct ColoringFile {
+  Coloring coloring{0};
+  std::string graph_spec;    // empty when absent
+  std::string palette_spec;  // empty when absent
+};
+
+ColoringFile read_coloring(std::istream& is, const std::string& what) {
+  ColoringFile out;
+  std::string line;
+  bool have_n = false;
+  NodeId n = 0;
+  NodeId next = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '#') {
+      const auto record = [&](const char* prefix, std::string* dst) {
+        const std::string p(prefix);
+        if (line.rfind(p, 0) == 0) *dst = line.substr(p.size());
+      };
+      record("# graph: ", &out.graph_spec);
+      record("# palette: ", &out.palette_spec);
+      continue;
+    }
+    // Token-based parse: istream >> uint silently wraps negative input, so
+    // every non-blank line must be a single all-digit token.
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // whitespace-only line
+    std::string rest;
+    DC_CHECK(!(ls >> rest), what, ": trailing garbage on line '", line, "'");
+    const bool numeric =
+        std::all_of(tok.begin(), tok.end(), [](unsigned char ch) {
+          return std::isdigit(ch) != 0;
+        });
+    DC_CHECK(numeric, what, ": malformed line '", line, "'");
+    errno = 0;
+    const std::uint64_t value = std::strtoull(tok.c_str(), nullptr, 10);
+    DC_CHECK(errno != ERANGE, what, ": value out of range on line '", line,
+             "'");
+    if (!have_n) {
+      DC_CHECK(value <= std::numeric_limits<NodeId>::max(), what,
+               ": node count ", value, " exceeds the node-id limit");
+      n = static_cast<NodeId>(value);
+      have_n = true;
+      out.coloring = Coloring(n);
+      continue;
+    }
+    DC_CHECK(next < n, what, ": more than ", n, " color entries");
+    out.coloring.color[next++] = value;
+  }
+  DC_CHECK(have_n, what, ": missing node-count header line");
+  DC_CHECK(next == n, what, ": expected ", n, " color entries, found ", next);
+  return out;
+}
+
+ColoringFile read_coloring_file(const std::string& path) {
+  std::ifstream is(path);
+  DC_CHECK(is.good(), "cannot open ", path, " for reading");
+  return read_coloring(is, path);
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
+
+int cmd_gen(const ArgParser& args) {
+  reject_unknown_flags(args, combine(kGraphFlags, {"out", "quiet"}));
+  reject_positionals(args);
+  const GraphSource src = build_graph(args, /*allow_algo_seed=*/false);
+  with_output(args, [&](std::ostream& os) { write_edge_list(os, src.graph); });
+  if (!get_bool_strict(args, "quiet")) {
+    std::fprintf(stderr, "generated %s: n=%u, m=%zu, Delta=%u\n",
+                 src.spec.c_str(), src.graph.num_nodes(),
+                 src.graph.num_edges(), src.graph.max_degree());
+  }
+  return kExitOk;
+}
+
+int cmd_color(const ArgParser& args) {
+  reject_unknown_flags(args, combine(kGraphFlags, kPaletteFlags,
+                                     {"algo", "stats", "out", "quiet"}));
+  reject_positionals(args);
+  const std::string algo_name = get_value_flag(args, "algo", "reduce");
+  // --seed doubles as the algorithm seed only for the randomized baselines;
+  // anywhere else it must be consumed by the generator or rejected.
+  const bool algo_uses_seed =
+      algo_name == "trial" || algo_name == "randreduce";
+  const GraphSource src = build_graph(args, algo_uses_seed);
+  const Graph& g = src.graph;
+  const PaletteSource pal = build_palettes(args, g);
+  const std::string& algo = algo_name;
+  const bool quiet = get_bool_strict(args, "quiet");
+  if (args.has("stats") && algo != "reduce" && algo != "randreduce") {
+    usage_error("--stats is only supported with --algo=reduce or randreduce");
+  }
+
+  Coloring coloring(g.num_nodes());
+  std::uint64_t rounds = 0;  // model rounds where the algorithm reports them
+  if (algo == "reduce" || algo == "randreduce") {
+    ColorReduceResult r =
+        algo == "reduce"
+            ? color_reduce(g, pal.palettes)
+            : randomized_reduce(g, pal.palettes, get_uint_strict(args, "seed", 1));
+    const std::string stats = get_value_flag(args, "stats", "");
+    if (!stats.empty()) {
+      write_json_file(stats, result_to_json(r));
+      if (!quiet) std::fprintf(stderr, "wrote stats JSON to %s\n",
+                               stats.c_str());
+    }
+    coloring = std::move(r.coloring);
+    rounds = r.ledger.total_rounds();
+  } else if (algo == "lowspace") {
+    LowSpaceResult r = low_space_color(g, pal.palettes);
+    coloring = std::move(r.coloring);
+    rounds = r.ledger.total_rounds();
+  } else if (algo == "greedy") {
+    GreedyResult r = greedy_baseline(g, pal.palettes);
+    coloring = std::move(r.coloring);
+  } else if (algo == "mis") {
+    MisBaselineResult r = mis_baseline_color(g, pal.palettes);
+    coloring = std::move(r.coloring);
+    rounds = r.rounds;
+  } else if (algo == "trial") {
+    RandomTrialResult r =
+        random_trial_color(g, pal.palettes, get_uint_strict(args, "seed", 1));
+    coloring = std::move(r.coloring);
+    rounds = r.model_rounds;
+  } else {
+    usage_error("unknown --algo '" + algo + "'");
+  }
+
+  const VerifyResult v = verify_coloring(g, pal.palettes, coloring);
+  if (!v.ok) {
+    std::fprintf(stderr, "detcol color: algorithm '%s' produced an INVALID "
+                 "coloring: %s\n", algo.c_str(), v.issue.c_str());
+    return kExitFailure;
+  }
+  with_output(args, [&](std::ostream& os) {
+    write_coloring(os, coloring, src.spec, pal.spec);
+  });
+  if (!quiet) {
+    std::string round_note;
+    if (rounds > 0) {
+      round_note =
+          ", " + std::to_string(rounds) + " model rounds";
+    }
+    std::fprintf(stderr,
+                 "colored %s (n=%u, m=%zu, Delta=%u) with algo=%s: "
+                 "%zu colors used%s; verified OK\n",
+                 src.spec.c_str(), g.num_nodes(), g.num_edges(),
+                 g.max_degree(), algo.c_str(), count_distinct_colors(coloring),
+                 round_note.c_str());
+  }
+  return kExitOk;
+}
+
+int cmd_verify(const ArgParser& args) {
+  reject_unknown_flags(args, combine({"coloring", "graph", "proper-only"}));
+  std::string path = get_value_flag(args, "coloring", "");
+  if (!args.positional().empty()) {
+    // A positional is only the coloring file when --coloring wasn't given;
+    // anything beyond that would be silently ignored, so reject it.
+    if (!path.empty() || args.positional().size() > 1) {
+      usage_error("verify takes exactly one coloring file");
+    }
+    path = args.positional().front();
+  }
+  if (path.empty()) usage_error("verify needs --coloring=FILE");
+  const ColoringFile file = read_coloring_file(path);
+
+  Graph g;
+  if (args.has("graph")) {
+    g = read_edge_list_file(get_value_flag(args, "graph", ""));
+  } else if (!file.graph_spec.empty()) {
+    try {
+      g = build_graph(parse_spec(file.graph_spec),
+                      /*allow_algo_seed=*/false).graph;
+    } catch (const UsageError& e) {
+      std::fprintf(stderr, "INVALID: corrupt '# graph:' header in %s: %s\n",
+                   path.c_str(), e.what());
+      return kExitFailure;
+    }
+  } else {
+    usage_error("coloring file has no '# graph:' header; pass --graph=FILE");
+  }
+  DC_CHECK(g.num_nodes() == file.coloring.color.size(),
+           "graph has ", g.num_nodes(), " nodes but coloring file has ",
+           file.coloring.color.size(), " entries");
+
+  VerifyResult v;
+  const bool proper_only =
+      get_bool_strict(args, "proper-only") || file.palette_spec.empty();
+  if (proper_only) {
+    v = verify_proper_partial(g, file.coloring);
+    if (v.ok && !file.coloring.complete()) {
+      v.ok = false;
+      v.issue = "coloring is incomplete (" +
+                std::to_string(file.coloring.num_colored()) + " of " +
+                std::to_string(file.coloring.color.size()) +
+                " nodes colored)";
+    }
+  } else {
+    try {
+      const PaletteSet palettes =
+          build_palettes(parse_spec(file.palette_spec), g).palettes;
+      v = verify_coloring(g, palettes, file.coloring);
+    } catch (const UsageError& e) {
+      std::fprintf(stderr, "INVALID: corrupt '# palette:' header in %s: %s\n",
+                   path.c_str(), e.what());
+      return kExitFailure;
+    }
+  }
+  if (!v.ok) {
+    std::fprintf(stderr, "INVALID: %s\n", v.issue.c_str());
+    return kExitFailure;
+  }
+  std::fprintf(stderr,
+               "OK: proper%s coloring of n=%u, m=%zu with %zu colors\n",
+               proper_only ? "" : ", palette-respecting", g.num_nodes(),
+               g.num_edges(), count_distinct_colors(file.coloring));
+  return kExitOk;
+}
+
+int cmd_stats(const ArgParser& args) {
+  reject_unknown_flags(args,
+                       combine(kGraphFlags, kPaletteFlags, {"out", "quiet"}));
+  reject_positionals(args);
+  get_bool_strict(args, "quiet");  // accepted as a no-op, but validated
+  const GraphSource src = build_graph(args, /*allow_algo_seed=*/false);
+  const PaletteSource pal = build_palettes(args, src.graph);
+  const ColorReduceResult r = color_reduce(src.graph, pal.palettes);
+  const VerifyResult v = verify_coloring(src.graph, pal.palettes, r.coloring);
+  DC_CHECK(v.ok, "ColorReduce produced an invalid coloring: ", v.issue);
+  with_output(args,
+              [&](std::ostream& os) { os << result_to_json(r) << '\n'; });
+  return kExitOk;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return kExitUsage;
+  }
+  const std::string command = argv[1];
+  // ArgParser skips its argv[0]; handing it argv + 1 makes the subcommand
+  // name the skipped slot and parses everything after it.
+  const ArgParser args(argc - 1, argv + 1);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "color") return cmd_color(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "help" || command == "--help" || command == "-h") {
+      std::fputs(kUsage, stdout);
+      return kExitOk;
+    }
+    usage_error("unknown command '" + command + "'");
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "detcol: %s\nRun `detcol help` for usage.\n",
+                 e.what());
+    return kExitUsage;
+  }
+}
+
+}  // namespace
+}  // namespace detcol
+
+int main(int argc, char** argv) {
+  try {
+    return detcol::run(argc, argv);
+  } catch (const detcol::CheckError& e) {
+    std::fprintf(stderr, "detcol: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detcol: unexpected error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -13,8 +13,11 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
       const auto eq = arg.find('=');
       if (eq == std::string::npos) {
         flags_[arg.substr(2)] = "true";
+        bare_.insert(arg.substr(2));
       } else {
-        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        const std::string name = arg.substr(2, eq - 2);
+        flags_[name] = arg.substr(eq + 1);
+        bare_.erase(name);  // last one wins, including bare-ness
       }
     } else {
       positional_.push_back(std::move(arg));
@@ -22,8 +25,19 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
   }
 }
 
+std::vector<std::string> ArgParser::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
 bool ArgParser::has(const std::string& name) const {
   return flags_.count(name) > 0;
+}
+
+bool ArgParser::was_bare(const std::string& name) const {
+  return bare_.count(name) > 0;
 }
 
 std::string ArgParser::get_string(const std::string& name,

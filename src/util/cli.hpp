@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,17 @@ class ArgParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Names of all flags that were passed (for callers that reject unknowns).
+  std::vector<std::string> flag_names() const;
+
+  /// True if the flag was passed bare (--name, no "=value"). Bare flags read
+  /// as the string "true"; callers with value-requiring flags can use this
+  /// to reject e.g. a bare --out instead of writing to a file named "true".
+  bool was_bare(const std::string& name) const;
+
  private:
   std::map<std::string, std::string> flags_;
+  std::set<std::string> bare_;
   std::vector<std::string> positional_;
 };
 

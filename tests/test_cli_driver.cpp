@@ -1,0 +1,228 @@
+// End-to-end tests of the `detcol` CLI driver: shells out to the real binary
+// (path injected by CMake as DETCOL_BIN) and round-trips graphs and
+// colorings through files, including the self-describing-header path where
+// `verify` rebuilds the instance from the coloring file alone.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/coloring.hpp"
+#include "graph/io.hpp"
+#include "graph/palette.hpp"
+
+namespace detcol {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Single-quotes a path for the shell (temp paths never contain quotes
+/// themselves, but may contain spaces).
+std::string shq(const std::string& s) { return "'" + s + "'"; }
+
+/// Runs `detcol <args>` through the shell; returns the process exit code.
+int run_detcol(const std::string& args) {
+  const std::string cmd = shq(DETCOL_BIN) + " " + args;
+  const int status = std::system(cmd.c_str());
+  EXPECT_NE(status, -1) << "system() failed for: " << cmd;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+fs::path test_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "detcol_cli" / info->name();
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(CliDriver, GenWritesReadableEdgeList) {
+  const fs::path dir = test_dir();
+  const fs::path graph = dir / "g.txt";
+  ASSERT_EQ(run_detcol("gen --gen=gnp --n=400 --p=0.03 --seed=7 --quiet "
+                       "--out=" + shq(graph.string())),
+            0);
+  const Graph g = read_edge_list_file(graph.string());
+  EXPECT_EQ(g.num_nodes(), 400u);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(CliDriver, ColorThenVerifyAgainstGraphFile) {
+  const fs::path dir = test_dir();
+  const fs::path graph = dir / "g.txt";
+  const fs::path colors = dir / "c.txt";
+  ASSERT_EQ(run_detcol("gen --gen=gnp --n=400 --p=0.03 --seed=7 --quiet "
+                       "--out=" + shq(graph.string())),
+            0);
+  ASSERT_EQ(run_detcol("color --input=" + shq(graph.string()) +
+                       " --quiet --out=" + shq(colors.string())),
+            0);
+  EXPECT_EQ(run_detcol("verify --coloring=" + shq(colors.string()) +
+                       " --graph=" + shq(graph.string())),
+            0);
+
+  // Cross-check the emitted file against the library's own verifier.
+  std::ifstream is(colors);
+  std::string line;
+  NodeId n = 0;
+  std::vector<Color> parsed;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (n == 0) {
+      ASSERT_TRUE(static_cast<bool>(ls >> n));
+      continue;
+    }
+    Color c = 0;
+    ASSERT_TRUE(static_cast<bool>(ls >> c)) << line;
+    parsed.push_back(c);
+  }
+  ASSERT_EQ(parsed.size(), n);
+  const Graph g = read_edge_list_file(graph.string());
+  Coloring coloring(n);
+  coloring.color = parsed;
+  const auto v =
+      verify_coloring(g, PaletteSet::delta_plus_one(g), coloring);
+  EXPECT_TRUE(v.ok) << v.issue;
+}
+
+TEST(CliDriver, VerifyRebuildsInstanceFromHeader) {
+  // The ISSUE acceptance flow: color a generated graph, then verify from the
+  // coloring file alone — graph and palettes come from the recorded spec.
+  const fs::path dir = test_dir();
+  const fs::path colors = dir / "c.txt";
+  ASSERT_EQ(run_detcol("color --n=500 --p=0.02 --quiet --out=" +
+                       shq(colors.string())),
+            0);
+  EXPECT_EQ(run_detcol("verify --coloring=" + shq(colors.string())), 0);
+}
+
+TEST(CliDriver, VerifyRejectsMonochromaticColoring) {
+  const fs::path dir = test_dir();
+  const fs::path colors = dir / "bad.txt";
+  std::ofstream os(colors);
+  os << "# detcol coloring v1\n";
+  os << "# graph: --gen=complete --n=5\n";
+  os << "5\n";
+  for (int i = 0; i < 5; ++i) os << "0\n";
+  os.close();
+  EXPECT_NE(run_detcol("verify --coloring=" + shq(colors.string())), 0);
+}
+
+TEST(CliDriver, LowSpaceAlgoWithDegPlusOneLists) {
+  const fs::path dir = test_dir();
+  const fs::path colors = dir / "c.txt";
+  ASSERT_EQ(run_detcol("color --gen=powerlaw --n=300 --avgdeg=6 --seed=3 "
+                       "--algo=lowspace --palette=deg1 --quiet --out=" +
+                       shq(colors.string())),
+            0);
+  EXPECT_EQ(run_detcol("verify --coloring=" + shq(colors.string())), 0);
+  EXPECT_NE(read_file(colors).find("--palette=deg1"), std::string::npos);
+}
+
+TEST(CliDriver, StatsEmitsJsonDocument) {
+  const fs::path dir = test_dir();
+  const fs::path json = dir / "stats.json";
+  ASSERT_EQ(run_detcol("stats --n=300 --p=0.03 --out=" + shq(json.string())), 0);
+  const std::string doc = read_file(json);
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_NE(doc.find("\"ledger\""), std::string::npos) << doc.substr(0, 200);
+}
+
+TEST(CliDriver, UnknownCommandAndBadFlagsFailCleanly) {
+  EXPECT_EQ(run_detcol("frobnicate 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("color --gen=nosuch 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("verify 2>/dev/null"), 2);
+  // Typo'd flag names and malformed numbers must not silently run a
+  // different instance.
+  EXPECT_EQ(run_detcol("color --palete=deg1 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("gen --n=1e6 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("color --p=abc 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("gen --n=-5 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("gen --n=4294967297 2>/dev/null"), 2);
+  // Bare value-flags must not be read as the string "true" (a bare --out
+  // would write the coloring to a file literally named "true").
+  EXPECT_EQ(run_detcol("color --n=50 --out 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("color --n=50 --stats 2>/dev/null"), 2);
+  // Flags of a different generator / palette kind are misdirected, not
+  // ignorable; likewise malformed boolean values.
+  EXPECT_EQ(run_detcol("gen --gen=gnp --n=20 --radius=0.5 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("color --palette=delta1 --palette-seed=9 "
+                       "2>/dev/null"),
+            2);
+  EXPECT_EQ(run_detcol("gen --n=20 --quiet=banana 2>/dev/null"), 2);
+  // Out-of-domain values and dual-role --seed on deterministic generators.
+  EXPECT_EQ(run_detcol("color --n=50 --p=1.5 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("color --gen=ring --n=100 --algo=trial --seed=7 "
+                       "--quiet --out=/dev/null 2>/dev/null"),
+            0);
+  EXPECT_EQ(run_detcol("stats --n=100 --quiet --out=/dev/null 2>/dev/null"),
+            0);
+}
+
+TEST(CliDriver, VerifyRejectsCorruptedColorLines) {
+  const fs::path dir = test_dir();
+  const fs::path colors = dir / "garbage.txt";
+  std::ofstream os(colors);
+  os << "# graph: --gen=ring --n=3\n";
+  os << "3\n0\n1junk\n2\n";
+  os.close();
+  EXPECT_EQ(run_detcol("verify --coloring=" + shq(colors.string()) +
+                       " 2>/dev/null"),
+            1);
+
+  // Negative entries must be corruption, not a silent unsigned wrap.
+  const fs::path neg = dir / "negative.txt";
+  std::ofstream os2(neg);
+  os2 << "# graph: --gen=ring --n=3\n";
+  os2 << "3\n0\n-2\n1\n";
+  os2.close();
+  EXPECT_EQ(run_detcol("verify --proper-only --coloring=" + shq(neg.string()) +
+                       " 2>/dev/null"),
+            1);
+
+  // A positional alongside --coloring would be silently ignored; reject it.
+  EXPECT_EQ(run_detcol("verify --coloring=" + shq(colors.string()) + " " +
+                       shq(neg.string()) + " 2>/dev/null"),
+            2);
+
+  // A corrupt recorded spec is a data problem (exit 1), not a usage error.
+  const fs::path corrupt = dir / "corrupt-header.txt";
+  std::ofstream os3(corrupt);
+  os3 << "# graph: --gen=bogus --n=3\n";
+  os3 << "3\n0\n1\n2\n";
+  os3.close();
+  EXPECT_EQ(run_detcol("verify --coloring=" + shq(corrupt.string()) +
+                       " 2>/dev/null"),
+            1);
+}
+
+TEST(CliDriver, GnmDefaultEdgesFeasibleForTinyGraphs) {
+  const fs::path dir = test_dir();
+  const fs::path graph = dir / "tiny.txt";
+  ASSERT_EQ(run_detcol("gen --gen=gnm --n=3 --quiet --out=" + shq(graph.string())),
+            0);
+  EXPECT_EQ(read_edge_list_file(graph.string()).num_edges(), 3u);
+}
+
+TEST(CliDriver, StatsFlagRejectedForAlgosWithoutStats) {
+  EXPECT_EQ(run_detcol("color --algo=greedy --n=50 --stats=/dev/null "
+                       "2>/dev/null"),
+            2);
+}
+
+}  // namespace
+}  // namespace detcol

@@ -114,7 +114,9 @@ TEST(Partition, ColorBinsReceiveDisjointPalettes) {
       if (pr.h2(c) + 1 != bu) continue;  // c is in u's share
       // c must not be in the share of any other color bin.
       for (std::uint64_t other = 1; other < b; ++other) {
-        if (other != bu) ASSERT_NE(pr.h2(c) + 1, other);
+        if (other != bu) {
+          ASSERT_NE(pr.h2(c) + 1, other);
+        }
       }
     }
   }

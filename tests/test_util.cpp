@@ -122,5 +122,25 @@ TEST(Cli, ParsesFlagsAndPositional) {
   EXPECT_EQ(list[2], 3u);
 }
 
+TEST(Cli, BareFlagTrackingLastOneWins) {
+  const char* argv[] = {"prog", "--out", "--out=file.txt", "--quiet"};
+  ArgParser args(4, argv);
+  // A later --name=value overrides an earlier bare --name, bare-ness
+  // included; a flag that stays bare reads as "true" and reports was_bare.
+  EXPECT_FALSE(args.was_bare("out"));
+  EXPECT_EQ(args.get_string("out", ""), "file.txt");
+  EXPECT_TRUE(args.was_bare("quiet"));
+  EXPECT_EQ(args.get_string("quiet", ""), "true");
+  EXPECT_FALSE(args.was_bare("missing"));
+
+  const char* argv2[] = {"prog", "--out=file.txt", "--out"};
+  ArgParser args2(3, argv2);
+  EXPECT_TRUE(args2.was_bare("out"));
+  EXPECT_EQ(args2.get_string("out", ""), "true");
+
+  const auto names = args.flag_names();
+  EXPECT_EQ(names.size(), 2u);  // out, quiet (map-deduplicated)
+}
+
 }  // namespace
 }  // namespace detcol
