@@ -7,46 +7,36 @@
 
 namespace detcol {
 
-Classification classify(const Instance& inst, const PaletteSet& palettes,
-                        const KWiseHash& h1, const KWiseHash& h2,
-                        std::uint64_t n_orig, const PartitionParams& params) {
-  const Graph& g = inst.graph;
+namespace classify_detail {
+
+void fill_deg_in_bin(const Graph& g, std::span<const std::uint32_t> raw_bin,
+                     std::vector<std::uint32_t>& deg_in_bin) {
   const NodeId n = g.num_nodes();
-  Classification out;
-  out.num_bins = num_bins(inst.ell, params);
-  const std::uint64_t b = out.num_bins;
-  DC_CHECK(h1.range() == b, "h1 range mismatch");
-  DC_CHECK(h2.range() == b - 1, "h2 range mismatch");
-
-  out.bin_of.assign(n, 0);
-  out.deg_in_bin.assign(n, 0);
-  out.pal_in_bin.assign(n, 0);
-  out.bin_sizes.assign(b, 0);
-
-  // Raw bin assignment: h1 over *original* ids (the paper's domain [N]).
-  std::vector<std::uint32_t> raw_bin(n);
-  for (NodeId v = 0; v < n; ++v) {
-    raw_bin[v] = static_cast<std::uint32_t>(h1(inst.orig[v])) + 1;  // 1..b
-  }
-
-  // d'(v): neighbors hashed to the same bin.
+  deg_in_bin.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
     std::uint32_t d = 0;
     for (const NodeId u : g.neighbors(v)) {
       if (raw_bin[u] == raw_bin[v]) ++d;
     }
-    out.deg_in_bin[v] = d;
+    deg_in_bin[v] = d;
   }
+}
 
-  // p'(v) for color-bin nodes: palette colors h2 sends to the node's bin.
-  for (NodeId v = 0; v < n; ++v) {
-    if (raw_bin[v] == b) continue;  // last bin receives no colors
-    std::uint64_t p = 0;
-    for (const Color c : palettes.palette(inst.orig[v])) {
-      if (h2(c) + 1 == raw_bin[v]) ++p;
-    }
-    out.pal_in_bin[v] = p;
-  }
+void finish(const Instance& inst, const PaletteSet& palettes,
+            std::uint64_t n_orig, const PartitionParams& params,
+            ClassifyScratch& scratch) {
+  const Graph& g = inst.graph;
+  const NodeId n = g.num_nodes();
+  Classification& out = scratch.cls;
+  const std::uint64_t b = out.num_bins;
+  const std::vector<std::uint32_t>& raw_bin = scratch.raw_bin;
+
+  out.bin_of.assign(n, 0);
+  out.bin_sizes.assign(b, 0);
+  out.num_bad_nodes = 0;
+  out.num_bad_bins = 0;
+  out.reclassified = 0;
+  out.bad_graph_words = 0;
 
   // Definition 3.1 node goodness. The expected within-bin degree share is
   // d(v)/b (we use the realized bin count b <= ell^0.1, which only loosens
@@ -95,7 +85,50 @@ Classification classify(const Instance& inst, const PaletteSet& palettes,
                nw * static_cast<double>(out.num_bad_bins);
   out.cost_size = static_cast<double>(out.bad_graph_words) +
                   nw * static_cast<double>(out.num_bad_bins);
+}
+
+}  // namespace classify_detail
+
+const Classification& classify(const Instance& inst, const PaletteSet& palettes,
+                               const KWiseHash& h1, const KWiseHash& h2,
+                               std::uint64_t n_orig,
+                               const PartitionParams& params,
+                               ClassifyScratch& scratch) {
+  const NodeId n = inst.graph.num_nodes();
+  Classification& out = scratch.cls;
+  out.num_bins = num_bins(inst.ell, params);
+  const std::uint64_t b = out.num_bins;
+  DC_CHECK(h1.range() == b, "h1 range mismatch");
+  DC_CHECK(h2.range() == b - 1, "h2 range mismatch");
+
+  // Raw bin assignment: h1 over *original* ids (the paper's domain [N]).
+  scratch.raw_bin.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    scratch.raw_bin[v] = static_cast<std::uint32_t>(h1(inst.orig[v])) + 1;
+  }
+
+  // p'(v) for color-bin nodes: palette colors h2 sends to the node's bin.
+  out.pal_in_bin.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (scratch.raw_bin[v] == b) continue;  // last bin receives no colors
+    std::uint64_t p = 0;
+    for (const Color c : palettes.palette(inst.orig[v])) {
+      if (h2(c) + 1 == scratch.raw_bin[v]) ++p;
+    }
+    out.pal_in_bin[v] = p;
+  }
+
+  classify_detail::fill_deg_in_bin(inst.graph, scratch.raw_bin,
+                                   out.deg_in_bin);
+  classify_detail::finish(inst, palettes, n_orig, params, scratch);
   return out;
+}
+
+Classification classify(const Instance& inst, const PaletteSet& palettes,
+                        const KWiseHash& h1, const KWiseHash& h2,
+                        std::uint64_t n_orig, const PartitionParams& params) {
+  ClassifyScratch scratch;
+  return classify(inst, palettes, h1, h2, n_orig, params, scratch);
 }
 
 }  // namespace detcol

@@ -50,11 +50,48 @@ struct Classification {
   double cost_size = 0.0;
 };
 
+/// Reusable workspace for classify(): every buffer a classification pass
+/// needs, including the output itself. Owned by seed-search loops so that the
+/// ~tens of thousands of evaluations behind one partition() call perform no
+/// allocation after the first (vector::assign reuses capacity).
+struct ClassifyScratch {
+  std::vector<std::uint32_t> raw_bin;  // per local node: bin 1..b under h1
+  Classification cls;
+};
+
 /// Evaluate Definition 3.1 for the pair (h1, h2) on `inst`.
 /// `n_orig` is the original graph's node count (the capital-N of the bin
 /// capacity and of the cost weighting).
 Classification classify(const Instance& inst, const PaletteSet& palettes,
                         const KWiseHash& h1, const KWiseHash& h2,
                         std::uint64_t n_orig, const PartitionParams& params);
+
+/// Workspace-taking overload: identical outputs, all buffers reused from
+/// `scratch`. Returns a reference to scratch.cls (valid until the next call
+/// with the same scratch).
+const Classification& classify(const Instance& inst, const PaletteSet& palettes,
+                               const KWiseHash& h1, const KWiseHash& h2,
+                               std::uint64_t n_orig,
+                               const PartitionParams& params,
+                               ClassifyScratch& scratch);
+
+namespace classify_detail {
+
+/// d'(v): neighbors hashed to the same bin. The engine computes this over a
+/// narrower (cache-resident) bin array; counts are identical either way.
+void fill_deg_in_bin(const Graph& g, std::span<const std::uint32_t> raw_bin,
+                     std::vector<std::uint32_t>& deg_in_bin);
+
+/// The shared tail of a classification pass: given the raw bin assignment in
+/// scratch.raw_bin and d'(v) / p'(v) already filled in scratch.cls (with
+/// scratch.cls.num_bins set), applies Definition 3.1 and the good-bin
+/// capacity, and fills every remaining Classification field. Both the naive
+/// classify() and the batched SeedEvalEngine run through this one kernel, so
+/// their goodness arithmetic cannot drift apart.
+void finish(const Instance& inst, const PaletteSet& palettes,
+            std::uint64_t n_orig, const PartitionParams& params,
+            ClassifyScratch& scratch);
+
+}  // namespace classify_detail
 
 }  // namespace detcol

@@ -75,14 +75,17 @@ class Driver {
     sim.collect(words, "collect-color");
     result_.peak_collect_words =
         std::max(result_.peak_collect_words, sim.peak_collect_words());
-    // Color highest-degree-first within the instance.
-    std::vector<NodeId> order(inst.orig);
-    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-      const auto da = g_.degree(a), db = g_.degree(b);
-      if (da != db) return da > db;
-      return a < b;
-    });
-    const bool ok = greedy_color(g_, pal_, order, result_.coloring);
+    // Color highest-degree-first within the instance. order_scratch_ is a
+    // driver-owned buffer: collects happen at every leaf of the recursion
+    // and must not reallocate each time.
+    order_scratch_.assign(inst.orig.begin(), inst.orig.end());
+    std::sort(order_scratch_.begin(), order_scratch_.end(),
+              [&](NodeId a, NodeId b) {
+                const auto da = g_.degree(a), db = g_.degree(b);
+                if (da != db) return da > db;
+                return a < b;
+              });
+    const bool ok = greedy_color(g_, pal_, order_scratch_, result_.coloring);
     DC_CHECK(ok, "local greedy ran out of colors — the p(v) > d(v) "
                  "invariant was broken upstream");
     // Announce the new colors to all neighbors (one word per node).
@@ -209,12 +212,10 @@ class Driver {
       if (cfg_.record_stats) stats.children.push_back(std::move(child_stats));
     }
 
-    // Last bin: update palettes, then recurse.
+    // Last bin: update palettes, then recurse. update_palettes only touches
+    // the palette stores, so last.orig can be passed directly.
     Instance last = make_child(inst, bin_local[b - 1], pr.ell_next);
-    {
-      std::vector<NodeId> orig_nodes(last.orig);
-      update_palettes(orig_nodes, sim);
-    }
+    update_palettes(last.orig, sim);
     CallStats last_stats;
     RoundLedger last_led =
         recurse(last, depth + 1, sub_seed(salt, b + 1), last_stats);
@@ -237,6 +238,7 @@ class Driver {
   PaletteSet pal_;  // mutated during the run (restrictions + updates)
   ColorReduceConfig cfg_;
   ColorReduceResult result_;
+  std::vector<NodeId> order_scratch_;  // collect_and_color ordering buffer
 };
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/seed_eval.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/math.hpp"
@@ -18,18 +19,16 @@ PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
   const unsigned h2_bits = KWiseHash::seed_bits(c);
   const unsigned total_bits = h1_bits + h2_bits;
 
-  auto build_pair = [&](const SeedBits& s) {
-    KWiseHash h1(s.word_range(0, c), b);
-    KWiseHash h2(s.word_range(c, c), b - 1);
-    return std::make_pair(std::move(h1), std::move(h2));
-  };
+  // Batched evaluator: power tables + distinct-color index built once,
+  // every candidate below costs one incremental pass (bit-identical to the
+  // naive classify(), see core/seed_eval.hpp).
+  SeedEvalEngine engine(inst, palettes, n_orig, params);
 
   // Acceptance: no bad bins and |G0| within the O(n) budget of Cor. 3.10.
   const double threshold =
       params.g0_budget * static_cast<double>(n_orig);
-  SeedCostFn cost = [&](const SeedBits& s) {
-    auto [h1, h2] = build_pair(s);
-    return classify(inst, palettes, h1, h2, n_orig, params).cost_size;
+  SeedCostFn cost = [&engine](const SeedBits& s) {
+    return engine.cost_size(s);
   };
 
   SeedSelectResult sel =
@@ -40,8 +39,9 @@ PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
                 << ", n=" << inst.n() << ", ell=" << inst.ell << ")";
   }
 
-  auto [h1, h2] = build_pair(sel.seed);
-  Classification cls = classify(inst, palettes, h1, h2, n_orig, params);
+  Classification cls = engine.evaluate(sel.seed);
+  // Only h2 outlives the call: the driver restricts palettes with it.
+  KWiseHash h2(sel.seed.word_range(c, c), b - 1);
 
   if (sim != nullptr) {
     // The MCE schedule: per chunk, every machine contributes one partial

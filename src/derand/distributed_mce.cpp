@@ -33,6 +33,11 @@ DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
 
   DistributedMceResult result{SeedBits(num_bits)};
   SeedBits prefix(num_bits);
+  SeedBits completion(num_bits);  // reused per (candidate, sample)
+  // contrib[v * cand_here + cand]: node v's estimate for a candidate. One
+  // flat buffer reused across chunks (the seed-search hot loop must not
+  // allocate; see core/seed_eval.hpp for the same discipline host-side).
+  std::vector<std::uint64_t> contrib;
   const std::uint64_t start_round = net.round();
 
   unsigned fixed = 0;
@@ -42,20 +47,19 @@ DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
 
     // Each node evaluates its local estimate for every candidate (local
     // computation is free in the model).
-    std::vector<std::vector<std::uint64_t>> contrib(
-        n, std::vector<std::uint64_t>(cand_here, 0));
+    contrib.assign(static_cast<std::size_t>(n) * cand_here, 0);
     const bool last_chunk = fixed + count >= num_bits;
     for (std::uint64_t cand = 0; cand < cand_here; ++cand) {
-      SeedBits base = prefix;
-      base.set_bits(fixed, count, cand);
+      prefix.set_bits(fixed, count, cand);
       for (unsigned s = 0; s < (last_chunk ? 1u : samples); ++s) {
-        SeedBits completion = base;
+        completion = prefix;
         if (!last_chunk) {
           completion.fill_suffix(fixed + count, salt ^ (fixed * 0x9E37ULL),
                                  s);
         }
         for (std::uint32_t v = 0; v < n; ++v) {
-          contrib[v][cand] += encode(node_cost(v, completion));
+          contrib[static_cast<std::size_t>(v) * cand_here + cand] +=
+              encode(node_cost(v, completion));
         }
       }
     }
@@ -64,13 +68,14 @@ DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
     for (std::uint32_t v = 0; v < n; ++v) {
       for (std::uint64_t j = 0; j < cand_here; ++j) {
         if (static_cast<std::uint32_t>(j) == v) continue;  // kept locally
-        net.send(v, static_cast<std::uint32_t>(j), contrib[v][j]);
+        net.send(v, static_cast<std::uint32_t>(j),
+                 contrib[static_cast<std::size_t>(v) * cand_here + j]);
       }
     }
     net.deliver();
     std::vector<std::uint64_t> totals(cand_here, 0);
     for (std::uint64_t j = 0; j < cand_here; ++j) {
-      std::uint64_t sum = contrib[static_cast<std::uint32_t>(j)][j];
+      std::uint64_t sum = contrib[j * cand_here + j];
       for (const auto& m :
            net.inbox(static_cast<std::uint32_t>(j))) {
         sum += m.payload;

@@ -56,13 +56,28 @@ SeedBits SeedBits::expand(unsigned num_bits, std::uint64_t salt,
 void SeedBits::fill_suffix(unsigned from, std::uint64_t salt,
                            std::uint64_t index) {
   DC_CHECK(from <= num_bits_, "suffix start out of range");
-  const SeedBits rnd = expand(num_bits_, salt, index);
-  unsigned pos = from;
-  while (pos < num_bits_) {
-    const unsigned count = std::min(64u, num_bits_ - pos);
-    set_bits(pos, count, rnd.get_bits(pos, count));
-    pos += count;
+  if (from == num_bits_) return;
+  // Bit-identical to copying bits [from, num_bits) out of expand(), without
+  // materializing the temporary: word k of expand() is the k-th SplitMix64
+  // output, and discard() skips straight to the first word we touch. This
+  // runs once per sampled MCE completion — tens of thousands of times per
+  // partition() — so it must not allocate.
+  SplitMix64 sm(salt ^ (0xA5A5A5A5DEADBEEFULL + index * 0x9E3779B97F4A7C15ULL));
+  const unsigned first_word = from / 64;
+  sm.discard(first_word);
+  const unsigned keep_bits = from % 64;
+  for (std::size_t w = first_word; w < words_.size(); ++w) {
+    const std::uint64_t rnd = sm.next();
+    if (w == first_word && keep_bits != 0) {
+      const std::uint64_t keep_mask = (std::uint64_t{1} << keep_bits) - 1;
+      words_[w] = (words_[w] & keep_mask) | (rnd & ~keep_mask);
+    } else {
+      words_[w] = rnd;
+    }
   }
+  // Clear bits beyond num_bits, matching expand()'s tail masking.
+  const unsigned tail = num_bits_ % 64;
+  if (tail != 0) words_.back() &= (std::uint64_t{1} << tail) - 1;
 }
 
 }  // namespace detcol

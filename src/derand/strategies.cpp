@@ -33,13 +33,14 @@ SeedSelectResult run_threshold_scan(unsigned num_bits, const SeedCostFn& cost,
                                     std::uint64_t salt) {
   SeedSelectResult best{SeedBits(num_bits)};
   best.cost = std::numeric_limits<double>::infinity();
+  SeedBits candidate(num_bits);  // reused; fill_suffix(0, ...) == expand()
   for (std::uint64_t i = 0; i < config.scan_max_seeds; ++i) {
-    SeedBits candidate = SeedBits::expand(num_bits, salt, i);
+    candidate.fill_suffix(0, salt, i);
     const double c = cost(candidate);
     ++best.evaluations;
     if (c < best.cost) {
       best.cost = c;
-      best.seed = std::move(candidate);
+      best.seed = candidate;
     }
     if (best.cost <= threshold) {
       best.met_threshold = true;
@@ -55,6 +56,7 @@ SeedSelectResult run_mce_sampled(unsigned num_bits, const SeedCostFn& cost,
                                  std::uint64_t salt) {
   SeedSelectResult r{SeedBits(num_bits)};
   SeedBits prefix(num_bits);
+  SeedBits completion(num_bits);  // reused across all candidate evaluations
   unsigned fixed = 0;
   while (fixed < num_bits) {
     const unsigned count = std::min(config.chunk_bits, num_bits - fixed);
@@ -67,7 +69,7 @@ SeedSelectResult run_mce_sampled(unsigned num_bits, const SeedCostFn& cost,
       const bool last_chunk = fixed + count >= num_bits;
       const unsigned samples = last_chunk ? 1 : config.mce_samples;
       for (unsigned s = 0; s < samples; ++s) {
-        SeedBits completion = prefix;
+        completion = prefix;  // same-length assign: no allocation
         if (!last_chunk) {
           // Common random completions across candidates: the same suffix
           // sample set is reused for every candidate value, so separable
@@ -113,6 +115,7 @@ SeedSelectResult run_mce_exact(unsigned num_bits, const SeedCostFn& cost,
            num_bits, " bits)");
   SeedSelectResult r{SeedBits(num_bits)};
   SeedBits prefix(num_bits);
+  SeedBits full(num_bits);  // reused across all exhaustive completions
   unsigned fixed = 0;
   while (fixed < num_bits) {
     const unsigned count = std::min(config.chunk_bits, num_bits - fixed);
@@ -125,7 +128,7 @@ SeedSelectResult run_mce_exact(unsigned num_bits, const SeedCostFn& cost,
       prefix.set_bits(fixed, count, v);
       double sum = 0.0;
       for (std::uint64_t w = 0; w < completions; ++w) {
-        SeedBits full = prefix;
+        full = prefix;
         if (rest > 0) full.set_bits(fixed + count, rest, w);
         sum += cost(full);
         ++r.evaluations;

@@ -23,6 +23,13 @@
 // Every strategy charges the ledger with the *paper's* round schedule
 // (#chunks x O(1) aggregation rounds), so reported round counts reflect the
 // algorithm being reproduced, not the host-side search shortcut.
+//
+// All strategies mutate one candidate buffer in place (prefix + chunk value
+// + suffix completion) rather than rebuilding seeds, so consecutive cost()
+// calls see seeds differing in few words. Cost backends that diff against
+// the previous seed — core/seed_eval.hpp's SeedEvalEngine, the backend
+// partition() installs — therefore pay only for the changed coefficients;
+// the enumeration order and every returned result are unchanged.
 #pragma once
 
 #include <cstdint>

@@ -39,13 +39,10 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
     auto nb = g.neighbors(v);
     DC_ASSERT(std::is_sorted(nb.begin(), nb.end()));
   }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
   return g;
-}
-
-NodeId Graph::max_degree() const {
-  NodeId d = 0;
-  for (NodeId v = 0; v < num_nodes(); ++v) d = std::max(d, degree(v));
-  return d;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
@@ -73,6 +70,12 @@ Graph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
     local[nodes[i]] = static_cast<NodeId>(i);
   }
   std::vector<Edge> edges;
+  // Upper bound: the parent-graph degree sum of the induced nodes counts
+  // every induced edge twice (plus edges leaving the set, so this can
+  // over-reserve when the set keeps few of its neighbors).
+  std::size_t deg_sum = 0;
+  for (const NodeId v : nodes) deg_sum += g.degree(v);
+  edges.reserve(deg_sum / 2);
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     for (const NodeId w : g.neighbors(nodes[i])) {
       const NodeId lw = local[w];

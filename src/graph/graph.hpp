@@ -39,7 +39,9 @@ class Graph {
     return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
   }
 
-  NodeId max_degree() const;
+  /// Cached at construction (the graph is immutable): hot paths consult the
+  /// degree bound per call and must not pay an O(n) scan each time.
+  NodeId max_degree() const { return max_degree_; }
 
   bool has_edge(NodeId u, NodeId v) const;
 
@@ -53,6 +55,7 @@ class Graph {
  private:
   std::vector<std::size_t> offsets_;  // size n+1
   std::vector<NodeId> adj_;           // both directions
+  NodeId max_degree_ = 0;             // max over degree(v); 0 when empty
 };
 
 /// Induced subgraph on `nodes` (original node ids, need not be sorted).

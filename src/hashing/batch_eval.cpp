@@ -1,0 +1,69 @@
+#include "hashing/batch_eval.hpp"
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+BatchKWiseEval::BatchKWiseEval(std::span<const std::uint64_t> points,
+                               unsigned independence, std::uint64_t range)
+    : c_(independence), range_(range) {
+  DC_CHECK(independence >= 1, "hash needs at least one coefficient");
+  DC_CHECK(independence <= 64, "independence beyond 64 is unsupported");
+  DC_CHECK(range >= 1, "hash range must be >= 1");
+  const std::size_t n = points.size();
+  pow_.resize(static_cast<std::size_t>(c_) * n);
+  for (std::size_t i = 0; i < n; ++i) pow_[i] = 1;  // x^0
+  for (unsigned j = 1; j < c_; ++j) {
+    const std::uint64_t* prev = pow_.data() + (j - 1) * n;
+    std::uint64_t* row = pow_.data() + static_cast<std::size_t>(j) * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      row[i] = m61_mul(prev[i], m61_reduce(points[i]));
+    }
+  }
+  cur_words_.assign(c_, 0);
+  cur_.assign(c_, 0);
+  vals_.assign(n, 0);  // the zero polynomial evaluates to 0 everywhere
+}
+
+bool BatchKWiseEval::load(std::span<const std::uint64_t> seed_words) {
+  DC_CHECK(seed_words.size() == c_, "expected ", c_, " seed words, got ",
+           seed_words.size());
+  const std::size_t n = vals_.size();
+  // Collect the changed coefficients first, then apply them in one fused
+  // pass over the value array: the per-point multiplies are independent, so
+  // one pass pipelines better than one pass per coefficient.
+  unsigned num_changed = 0;
+  std::uint64_t deltas[64];
+  const std::uint64_t* rows[64];
+  for (unsigned j = 0; j < c_; ++j) {
+    const std::uint64_t w = seed_words[j];
+    if (w == cur_words_[j]) continue;
+    const std::uint64_t a = m61_reduce(w);
+    const std::uint64_t delta = m61_sub(a, cur_[j]);
+    cur_words_[j] = w;
+    cur_[j] = a;
+    if (delta == 0) continue;  // distinct words, same residue
+    deltas[num_changed] = delta;
+    rows[num_changed] = pow_.data() + static_cast<std::size_t>(j) * n;
+    ++num_changed;
+  }
+  if (num_changed == 0) return false;
+  if (num_changed == 1) {
+    const std::uint64_t d0 = deltas[0];
+    const std::uint64_t* row = rows[0];
+    for (std::size_t i = 0; i < n; ++i) {
+      vals_[i] = m61_add(vals_[i], m61_mul(d0, row[i]));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t acc = vals_[i];
+      for (unsigned k = 0; k < num_changed; ++k) {
+        acc = m61_add(acc, m61_mul(deltas[k], rows[k][i]));
+      }
+      vals_[i] = acc;
+    }
+  }
+  return true;
+}
+
+}  // namespace detcol

@@ -1,0 +1,68 @@
+// Batched, incremental evaluation of one c-wise independent hash function
+// (Definition 2.3 / Lemma 2.4) over a fixed point set.
+//
+// The method of conditional expectations evaluates the *same* polynomial
+// family at the *same* points under thousands of nearby coefficient vectors:
+// consecutive candidates share most of their seed words. Writing the hash in
+// monomial form,
+//   h(x) = sum_j a_j x^j  over F_{2^61 - 1},
+// a coefficient change a_j -> a_j' moves every evaluation by exactly
+// (a_j' - a_j) * x^j. BatchKWiseEval precomputes the power table x^j for all
+// points once, keeps the field value of every point under the currently
+// loaded coefficients, and applies a new coefficient vector by diffing it
+// word-by-word against the previous one — one multiply-add per point per
+// *changed* coefficient instead of a full Horner pass per point per call.
+//
+// Field values (and hence the range mapping of Section 2.3) are bit-identical
+// to KWiseHash::field_eval / to_range: both compute the exact same element of
+// F_p, just associated differently. tests/test_seed_eval.cpp asserts this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hashing/field.hpp"
+
+namespace detcol {
+
+class BatchKWiseEval {
+ public:
+  /// Build the power table for `points` (arbitrary 64-bit values; reduced
+  /// mod p exactly like KWiseHash does) for a degree-(independence-1)
+  /// polynomial with the given output `range` (>= 1).
+  BatchKWiseEval(std::span<const std::uint64_t> points, unsigned independence,
+                 std::uint64_t range);
+
+  /// Load a coefficient vector given as raw 64-bit seed words (the same
+  /// representation KWiseHash consumes; exactly `independence` words).
+  /// Coefficients whose word is unchanged since the previous load() cost
+  /// nothing; the initial state is the all-zero polynomial. Returns true if
+  /// any field value moved — false means every point evaluates exactly as
+  /// before, so callers can reuse anything derived from the values.
+  bool load(std::span<const std::uint64_t> seed_words);
+
+  /// Field value of point i under the loaded coefficients, in [0, p).
+  std::uint64_t field_value(std::size_t i) const { return vals_[i]; }
+
+  /// Range-mapped value of point i, in [0, range) — identical to
+  /// KWiseHash::operator() for the loaded seed words.
+  std::uint64_t bin(std::size_t i) const {
+    return m61_to_range(vals_[i], range_);
+  }
+
+  std::size_t num_points() const { return vals_.size(); }
+  unsigned independence() const { return c_; }
+  std::uint64_t range() const { return range_; }
+
+ private:
+  unsigned c_;
+  std::uint64_t range_;
+  // pow_[j * n + i] = (point i)^j mod p; row 0 is all ones.
+  std::vector<std::uint64_t> pow_;
+  std::vector<std::uint64_t> cur_words_;  // raw words currently applied
+  std::vector<std::uint64_t> cur_;        // the same, reduced mod p
+  std::vector<std::uint64_t> vals_;       // per-point field values
+};
+
+}  // namespace detcol

@@ -18,13 +18,18 @@ class SplitMix64 {
   explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
 
   constexpr std::uint64_t next() {
-    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    std::uint64_t z = (state_ += kGamma);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     return z ^ (z >> 31);
   }
 
+  /// Skip `n` outputs in O(1): the state advances by a fixed increment per
+  /// next(), so discard(n) then next() yields exactly the (n+1)-th output.
+  constexpr void discard(std::uint64_t n) { state_ += n * kGamma; }
+
  private:
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
   std::uint64_t state_;
 };
 
