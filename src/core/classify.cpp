@@ -10,28 +10,33 @@ namespace detcol {
 namespace classify_detail {
 
 void fill_deg_in_bin(const Graph& g, std::span<const std::uint32_t> raw_bin,
-                     std::vector<std::uint32_t>& deg_in_bin) {
+                     std::vector<std::uint32_t>& deg_in_bin,
+                     ExecContext exec) {
   const NodeId n = g.num_nodes();
-  deg_in_bin.assign(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    std::uint32_t d = 0;
-    for (const NodeId u : g.neighbors(v)) {
-      if (raw_bin[u] == raw_bin[v]) ++d;
+  deg_in_bin.resize(n);  // every slot is overwritten by its shard below
+  parallel_for_shards(exec, n, [&](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      std::uint32_t d = 0;
+      for (const NodeId u : g.neighbors(v)) {
+        if (raw_bin[u] == raw_bin[v]) ++d;
+      }
+      deg_in_bin[v] = d;
     }
-    deg_in_bin[v] = d;
-  }
+  });
 }
 
 void finish(const Instance& inst, const PaletteSet& palettes,
             std::uint64_t n_orig, const PartitionParams& params,
-            ClassifyScratch& scratch) {
+            ClassifyScratch& scratch, ExecContext exec) {
   const Graph& g = inst.graph;
   const NodeId n = g.num_nodes();
   Classification& out = scratch.cls;
   const std::uint64_t b = out.num_bins;
   const std::vector<std::uint32_t>& raw_bin = scratch.raw_bin;
 
-  out.bin_of.assign(n, 0);
+  out.bin_of.resize(n);  // every slot is written by its shard below
   out.bin_sizes.assign(b, 0);
   out.num_bad_nodes = 0;
   out.num_bad_bins = 0;
@@ -40,35 +45,56 @@ void finish(const Instance& inst, const PaletteSet& palettes,
 
   // Definition 3.1 node goodness. The expected within-bin degree share is
   // d(v)/b (we use the realized bin count b <= ell^0.1, which only loosens
-  // the condition); slacks are the paper's ell powers.
+  // the condition); slacks are the paper's ell powers. Every node's decision
+  // is independent of every other's, so the pass shards over exec: each
+  // shard writes its own bin_of slots and accumulates into its own
+  // ClassifyScratch::FinishShard, folded below in shard order.
   const double deg_slack = fpow(inst.ell, params.deg_slack_exp);
   const double pal_slack = fpow(inst.ell, params.pal_slack_exp);
-  for (NodeId v = 0; v < n; ++v) {
-    const double d = static_cast<double>(g.degree(v));
-    const double dshare = d / static_cast<double>(b);
-    const double dprime = static_cast<double>(out.deg_in_bin[v]);
-    bool good = std::abs(dprime - dshare) <= deg_slack;
-    if (good && raw_bin[v] != b) {
-      const double p =
-          static_cast<double>(palettes.palette_size(inst.orig[v]));
-      const double pprime = static_cast<double>(out.pal_in_bin[v]);
-      if (pprime < p / static_cast<double>(b) + pal_slack) good = false;
-      // Belt and braces: a "good" node must actually be recursively
-      // colorable — its restricted palette must exceed its bin degree.
-      // Lemma 3.2 guarantees this at the paper's asymptotic scale; at
-      // laptop scale we enforce it directly (see DESIGN.md §2).
-      if (good && pprime <= dprime) {
-        good = false;
-        ++out.reclassified;
+  scratch.finish_shards.resize(shard_count(n));
+  parallel_for_shards(exec, n, [&](std::size_t s, std::size_t begin,
+                                   std::size_t end) {
+    ClassifyScratch::FinishShard& part = scratch.finish_shards[s];
+    part.num_bad_nodes = 0;
+    part.reclassified = 0;
+    part.bad_graph_words = 0;
+    part.bin_sizes.assign(b, 0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      const double d = static_cast<double>(g.degree(v));
+      const double dshare = d / static_cast<double>(b);
+      const double dprime = static_cast<double>(out.deg_in_bin[v]);
+      bool good = std::abs(dprime - dshare) <= deg_slack;
+      if (good && raw_bin[v] != b) {
+        const double p =
+            static_cast<double>(palettes.palette_size(inst.orig[v]));
+        const double pprime = static_cast<double>(out.pal_in_bin[v]);
+        if (pprime < p / static_cast<double>(b) + pal_slack) good = false;
+        // Belt and braces: a "good" node must actually be recursively
+        // colorable — its restricted palette must exceed its bin degree.
+        // Lemma 3.2 guarantees this at the paper's asymptotic scale; at
+        // laptop scale we enforce it directly (see DESIGN.md §2).
+        if (good && pprime <= dprime) {
+          good = false;
+          ++part.reclassified;
+        }
+      }
+      if (good) {
+        out.bin_of[v] = raw_bin[v];
+        ++part.bin_sizes[raw_bin[v] - 1];
+      } else {
+        out.bin_of[v] = 0;
+        ++part.num_bad_nodes;
+        part.bad_graph_words += 1 + g.degree(v);
       }
     }
-    if (good) {
-      out.bin_of[v] = raw_bin[v];
-      ++out.bin_sizes[raw_bin[v] - 1];
-    } else {
-      out.bin_of[v] = 0;
-      ++out.num_bad_nodes;
-      out.bad_graph_words += 1 + g.degree(v);
+  });
+  for (const ClassifyScratch::FinishShard& part : scratch.finish_shards) {
+    out.num_bad_nodes += part.num_bad_nodes;
+    out.reclassified += part.reclassified;
+    out.bad_graph_words += part.bad_graph_words;
+    for (std::uint64_t i = 0; i < b; ++i) {
+      out.bin_sizes[i] += part.bin_sizes[i];
     }
   }
 

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "graph/graph.hpp"
 #include "graph/palette.hpp"
 #include "hashing/kwise.hpp"
@@ -57,6 +58,19 @@ struct Classification {
 struct ClassifyScratch {
   std::vector<std::uint32_t> raw_bin;  // per local node: bin 1..b under h1
   Classification cls;
+
+  /// Per-shard partial accumulators for the parallel goodness pass of
+  /// classify_detail::finish — one slot per static node shard, reused across
+  /// evaluations (the seed-search hot loop must not allocate). Totals are
+  /// folded in shard-index order (all integers, so order cannot matter, but
+  /// the exec layer's shard-ordered contract holds regardless).
+  struct FinishShard {
+    std::uint64_t num_bad_nodes = 0;
+    std::uint64_t reclassified = 0;
+    std::uint64_t bad_graph_words = 0;
+    std::vector<std::uint64_t> bin_sizes;
+  };
+  std::vector<FinishShard> finish_shards;
 };
 
 /// Evaluate Definition 3.1 for the pair (h1, h2) on `inst`.
@@ -79,18 +93,24 @@ namespace classify_detail {
 
 /// d'(v): neighbors hashed to the same bin. The engine computes this over a
 /// narrower (cache-resident) bin array; counts are identical either way.
+/// Shards over `exec` (each shard writes its own deg_in_bin slots; raw_bin
+/// must be fully written before the call).
 void fill_deg_in_bin(const Graph& g, std::span<const std::uint32_t> raw_bin,
-                     std::vector<std::uint32_t>& deg_in_bin);
+                     std::vector<std::uint32_t>& deg_in_bin,
+                     ExecContext exec = {});
 
 /// The shared tail of a classification pass: given the raw bin assignment in
 /// scratch.raw_bin and d'(v) / p'(v) already filled in scratch.cls (with
 /// scratch.cls.num_bins set), applies Definition 3.1 and the good-bin
 /// capacity, and fills every remaining Classification field. Both the naive
 /// classify() and the batched SeedEvalEngine run through this one kernel, so
-/// their goodness arithmetic cannot drift apart.
+/// their goodness arithmetic cannot drift apart. The per-node pass shards
+/// over `exec` into scratch.finish_shards (per-node decisions are
+/// independent; the per-shard counters fold in shard order), so the output
+/// is bit-identical for every thread count.
 void finish(const Instance& inst, const PaletteSet& palettes,
             std::uint64_t n_orig, const PartitionParams& params,
-            ClassifyScratch& scratch);
+            ClassifyScratch& scratch, ExecContext exec = {});
 
 }  // namespace classify_detail
 

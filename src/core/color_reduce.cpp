@@ -1,28 +1,71 @@
 #include "core/color_reduce.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
 
 #include "core/partition.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace detcol {
 namespace {
 
 /// Words needed to collect an instance onto one machine: the graph plus
 /// palettes truncated to deg+1 (Theorem 1.3's trick: dropping surplus colors
-/// before a local solve is always safe).
-std::uint64_t collect_words(const Instance& inst, const PaletteSet& pal) {
-  std::uint64_t w = inst.size_words();
-  for (NodeId v = 0; v < inst.n(); ++v) {
-    w += std::min<std::uint64_t>(pal.palette_size(inst.orig[v]),
-                                 std::uint64_t{inst.graph.degree(v)} + 1);
-  }
-  return w;
+/// before a local solve is always safe). Shard-ordered reduction over the
+/// instance's nodes (an integer sum, so the fold order cannot matter; small
+/// instances collapse to one inline shard).
+std::uint64_t collect_words(const Instance& inst, const PaletteSet& pal,
+                            ExecContext exec) {
+  return parallel_reduce_shards(
+      exec, inst.n(), inst.size_words(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::uint64_t w = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const NodeId v = static_cast<NodeId>(i);
+          w += std::min<std::uint64_t>(
+              pal.palette_size(inst.orig[v]),
+              std::uint64_t{inst.graph.degree(v)} + 1);
+        }
+        return w;
+      },
+      [](std::uint64_t acc, std::uint64_t part) { return acc + part; });
 }
 
+/// Relaxed atomic max — commutative, so the final value is independent of
+/// the order concurrent recursion branches reach it.
+template <typename T>
+void fetch_max(std::atomic<T>& a, T v) {
+  T cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Concurrency discipline of the driver (the "why this is deterministic"):
+//
+// Sibling color bins G1..G_{b-1} of one Partition call run as pool tasks.
+// Two branches that run concurrently are always members of distinct bins of
+// some common ancestor partition, so
+//   * their node sets are disjoint — every per-node slot (coloring entries,
+//     palettes, implicit chains, CallStats children, group ledger slots) has
+//     exactly one writer;
+//   * their palettes are restricted to disjoint h2 color classes *before*
+//     the group is spawned — so a color committed by a concurrent branch is
+//     never present in (and never removable from) a palette this branch
+//     reads, and never collides with a greedy candidate. Whether a cross-
+//     branch read observes such a color therefore cannot change any output.
+// Cross-branch color reads go through relaxed atomics (greedy_color,
+// update_palettes) purely to make them well-defined; driver-wide counters
+// are commutative atomic add/max; everything else merges at the fork/join
+// boundaries in bin-index order. Net effect: colorings, ledgers and stats
+// are bit-identical for every thread count.
 class Driver {
  public:
   Driver(const Graph& g, const PaletteSet& palettes,
@@ -30,6 +73,7 @@ class Driver {
       : g_(g), pal_(palettes), cfg_(cfg), result_(g.num_nodes()) {}
 
   ColorReduceResult run() {
+    WallTimer wall;
     Instance root;
     root.orig.resize(g_.num_nodes());
     std::iota(root.orig.begin(), root.orig.end(), NodeId{0});
@@ -58,34 +102,50 @@ class Driver {
       result_.implicit_store =
           std::make_unique<ImplicitPaletteStore>(g_.num_nodes(), k);
     }
-    result_.ledger = recurse(root, 0, cfg_.salt, result_.root);
+    TaskScratch scratch;
+    result_.ledger = recurse(root, 0, cfg_.salt, result_.root, scratch);
+
+    // Fold the concurrent accumulators into the plain result fields.
+    result_.max_depth_reached = max_depth_reached_.load();
+    result_.num_partitions = num_partitions_.load();
+    result_.num_collects = num_collects_.load();
+    result_.peak_collect_words = peak_collect_words_.load();
+    result_.total_seed_evaluations = total_seed_evaluations_.load();
+    result_.threads_used = cfg_.exec.num_threads();
+    result_.depth_seconds = std::move(depth_seconds_);
+    result_.wall_seconds = wall.seconds();
     return std::move(result_);
   }
 
  private:
+  /// Buffers owned by one recursion branch. Each spawned bin task gets its
+  /// own; sequential child calls inherit the parent's (collects happen at
+  /// every leaf and must not reallocate each time).
+  struct TaskScratch {
+    std::vector<NodeId> order;  // collect_and_color ordering buffer
+  };
+
   CliqueSim make_sim() const {
     return CliqueSim(std::max<std::uint64_t>(1, g_.num_nodes()), cfg_.costs,
                      cfg_.route_slack, cfg_.collect_slack);
   }
 
-  /// Collect `inst` onto one machine and greedily color it, consulting
-  /// already-colored neighbors in the original graph.
-  void collect_and_color(const Instance& inst, CliqueSim& sim) {
-    const std::uint64_t words = collect_words(inst, pal_);
+  /// Collect `inst` (already costed at `words` words) onto one machine and
+  /// greedily color it, consulting already-colored neighbors in the
+  /// original graph.
+  void collect_and_color(const Instance& inst, std::uint64_t words,
+                         CliqueSim& sim, TaskScratch& scratch) {
     sim.collect(words, "collect-color");
-    result_.peak_collect_words =
-        std::max(result_.peak_collect_words, sim.peak_collect_words());
-    // Color highest-degree-first within the instance. order_scratch_ is a
-    // driver-owned buffer: collects happen at every leaf of the recursion
-    // and must not reallocate each time.
-    order_scratch_.assign(inst.orig.begin(), inst.orig.end());
-    std::sort(order_scratch_.begin(), order_scratch_.end(),
+    fetch_max(peak_collect_words_, sim.peak_collect_words());
+    // Color highest-degree-first within the instance.
+    scratch.order.assign(inst.orig.begin(), inst.orig.end());
+    std::sort(scratch.order.begin(), scratch.order.end(),
               [&](NodeId a, NodeId b) {
                 const auto da = g_.degree(a), db = g_.degree(b);
                 if (da != db) return da > db;
                 return a < b;
               });
-    const bool ok = greedy_color(g_, pal_, order_scratch_, result_.coloring);
+    const bool ok = greedy_color(g_, pal_, scratch.order, result_.coloring);
     DC_CHECK(ok, "local greedy ran out of colors — the p(v) > d(v) "
                  "invariant was broken upstream");
     // Announce the new colors to all neighbors (one word per node).
@@ -93,20 +153,25 @@ class Driver {
       sim.lenzen_route(inst.n(), 1 + inst.graph.max_degree(),
                        "color-announce");
     }
-    ++result_.num_collects;
+    num_collects_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Remove colors of already-colored original-graph neighbors from the
-  /// palettes of `nodes` (the paper's "update color palettes" steps).
+  /// palettes of `nodes` (the paper's "update color palettes" steps). The
+  /// routed message count is the number of removals that actually changed a
+  /// palette: that count is schedule-independent (see the class comment —
+  /// a concurrently-committed color is never present), so the ledger words
+  /// are identical for every thread count.
   void update_palettes(std::span<const NodeId> nodes, CliqueSim& sim) {
     std::uint64_t touched = 0;
     for (const NodeId v : nodes) {
       for (const NodeId u : g_.neighbors(v)) {
-        if (result_.coloring.is_colored(u)) {
-          pal_.remove_color(v, result_.coloring.color[u]);
+        const Color cu = std::atomic_ref<Color>(result_.coloring.color[u])
+                             .load(std::memory_order_relaxed);
+        if (cu == Coloring::kUncolored) continue;
+        if (pal_.remove_color(v, cu)) {
           if (result_.implicit_store) {
-            result_.implicit_store->remove_color(v,
-                                                 result_.coloring.color[u]);
+            result_.implicit_store->remove_color(v, cu);
           }
           ++touched;
         }
@@ -129,9 +194,18 @@ class Driver {
     return child;
   }
 
+  void add_depth_seconds(unsigned depth, double seconds) {
+    const std::lock_guard<std::mutex> lk(timing_mu_);
+    if (depth_seconds_.size() <= depth) depth_seconds_.resize(depth + 1, 0.0);
+    depth_seconds_[depth] += seconds;
+  }
+
   RoundLedger recurse(const Instance& inst, unsigned depth,
-                      std::uint64_t salt, CallStats& stats) {
-    result_.max_depth_reached = std::max(result_.max_depth_reached, depth);
+                      std::uint64_t salt, CallStats& stats,
+                      TaskScratch& scratch) {
+    WallTimer timer;
+    double own_seconds = 0.0;
+    fetch_max(max_depth_reached_, depth);
     stats.depth = depth;
     stats.n = inst.n();
     stats.m = inst.graph.num_edges();
@@ -144,8 +218,8 @@ class Driver {
     const auto& p = cfg_.part;
     const double collect_limit =
         p.collect_factor * static_cast<double>(g_.num_nodes());
-    const bool small = static_cast<double>(collect_words(inst, pal_)) <=
-                       collect_limit;
+    const std::uint64_t inst_words = collect_words(inst, pal_, cfg_.exec);
+    const bool small = static_cast<double>(inst_words) <= collect_limit;
     if (small || depth >= p.max_depth || inst.ell < p.min_ell) {
       if (!small) {
         // Expected when ell bottoms out before the size threshold; the
@@ -154,15 +228,17 @@ class Driver {
                      << inst.n() << ", ell=" << inst.ell << ")";
       }
       stats.collected = true;
-      collect_and_color(inst, sim);
+      collect_and_color(inst, inst_words, sim, scratch);
+      add_depth_seconds(depth, timer.seconds());
       return sim.ledger();
     }
 
     // --- Partition (Algorithm 2) with derandomized seeds (Lemma 3.9). ---
     PartitionResult pr =
-        partition(inst, pal_, g_.num_nodes(), p, &sim, salt);
-    ++result_.num_partitions;
-    result_.total_seed_evaluations += pr.seed.evaluations;
+        partition(inst, pal_, g_.num_nodes(), p, &sim, salt, cfg_.exec);
+    num_partitions_.fetch_add(1, std::memory_order_relaxed);
+    total_seed_evaluations_.fetch_add(pr.seed.evaluations,
+                                      std::memory_order_relaxed);
     stats.num_bins = pr.num_bins;
     stats.bad_nodes = pr.cls.num_bad_nodes;
     stats.bad_bins = pr.cls.num_bad_bins;
@@ -183,7 +259,10 @@ class Driver {
       }
     }
 
-    // Restrict palettes of the color bins 1..b-1 to their h2 share.
+    // Restrict palettes of the color bins 1..b-1 to their h2 share. This
+    // happens *before* the sibling group is spawned: it is what makes the
+    // group's palettes pairwise disjoint, and with them every cross-branch
+    // interaction harmless (class comment).
     std::uint32_t hash_id = 0;
     if (result_.implicit_store) {
       hash_id = result_.implicit_store->add_hash(pr.h2);
@@ -199,38 +278,62 @@ class Driver {
       }
     }
 
-    // Recurse on the color bins in parallel (disjoint palettes).
-    std::vector<RoundLedger> group;
-    group.reserve(b - 1);
-    if (cfg_.record_stats) stats.children.reserve(b);
-    for (std::uint64_t i = 0; i + 1 < b; ++i) {
+    // Recurse on the color bins in parallel (disjoint palettes): dispatched
+    // as pool tasks when an ExecContext is configured, inline otherwise.
+    // Each branch writes its own pre-sized slots; the join merges them in
+    // bin-index order, so both paths produce identical results.
+    const std::uint64_t groups = b - 1;
+    std::vector<RoundLedger> group(groups);
+    std::vector<CallStats> child_stats(groups);
+    own_seconds += timer.seconds();
+    const auto run_bin = [&](std::uint64_t i, TaskScratch& ts) {
       Instance child = make_child(inst, bin_local[i], pr.ell_next);
-      CallStats child_stats;
-      RoundLedger led =
-          recurse(child, depth + 1, sub_seed(salt, i + 1), child_stats);
-      group.push_back(std::move(led));
-      if (cfg_.record_stats) stats.children.push_back(std::move(child_stats));
+      group[i] = recurse(child, depth + 1, sub_seed(salt, i + 1),
+                         child_stats[i], ts);
+    };
+    if (cfg_.exec.parallel() && groups > 1) {
+      TaskGroup tg(*cfg_.exec.pool());
+      for (std::uint64_t i = 0; i < groups; ++i) {
+        tg.spawn([&run_bin, i] {
+          TaskScratch ts;
+          run_bin(i, ts);
+        });
+      }
+      tg.wait();
+    } else {
+      for (std::uint64_t i = 0; i < groups; ++i) run_bin(i, scratch);
+    }
+    timer.reset();
+    if (cfg_.record_stats) {
+      stats.children.reserve(b);
+      for (auto& cs : child_stats) stats.children.push_back(std::move(cs));
     }
 
-    // Last bin: update palettes, then recurse. update_palettes only touches
-    // the palette stores, so last.orig can be passed directly.
+    // Last bin: update palettes, then recurse. This runs strictly after the
+    // group join — exactly the model's schedule, where G_b's palette update
+    // sees every color the parallel phase committed. update_palettes only
+    // touches the palette stores, so last.orig can be passed directly.
     Instance last = make_child(inst, bin_local[b - 1], pr.ell_next);
     update_palettes(last.orig, sim);
+    own_seconds += timer.seconds();
     CallStats last_stats;
     RoundLedger last_led =
-        recurse(last, depth + 1, sub_seed(salt, b + 1), last_stats);
+        recurse(last, depth + 1, sub_seed(salt, b + 1), last_stats, scratch);
+    timer.reset();
     if (cfg_.record_stats) stats.children.push_back(std::move(last_stats));
 
     // G0 (bad nodes): collect and color locally. Greedy consults colored
     // neighbors directly, so the palette update is implicit.
     if (!bad_local.empty()) {
       Instance g0 = make_child(inst, bad_local, inst.ell);
-      collect_and_color(g0, sim);
+      collect_and_color(g0, collect_words(g0, pal_, cfg_.exec), sim, scratch);
     }
 
     RoundLedger total = sim.ledger();
     total.merge_parallel(group);
     total.merge_sequential(last_led);
+    own_seconds += timer.seconds();
+    add_depth_seconds(depth, own_seconds);
     return total;
   }
 
@@ -238,7 +341,16 @@ class Driver {
   PaletteSet pal_;  // mutated during the run (restrictions + updates)
   ColorReduceConfig cfg_;
   ColorReduceResult result_;
-  std::vector<NodeId> order_scratch_;  // collect_and_color ordering buffer
+
+  // Cross-branch accumulators: commutative (add/max), hence deterministic.
+  std::atomic<unsigned> max_depth_reached_{0};
+  std::atomic<std::uint64_t> num_partitions_{0};
+  std::atomic<std::uint64_t> num_collects_{0};
+  std::atomic<std::uint64_t> peak_collect_words_{0};
+  std::atomic<std::uint64_t> total_seed_evaluations_{0};
+
+  std::mutex timing_mu_;
+  std::vector<double> depth_seconds_;  // telemetry only, never bit-compared
 };
 
 }  // namespace

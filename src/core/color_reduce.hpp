@@ -14,6 +14,14 @@
 // Round accounting: parallel groups contribute the max of their ledgers,
 // sequential phases add. Every produced coloring is verified against the
 // original graph by the caller (verify_coloring).
+//
+// Host-side execution: the step-3 sibling recursions are independent in the
+// model (disjoint node sets, disjoint h2-restricted palettes) and the driver
+// exploits that on real cores — ColorReduceConfig::exec dispatches them as
+// thread-pool tasks, and the seed search inside each partition() shards its
+// per-node passes over the same pool. Colorings, ledgers and stats trees are
+// bit-identical for every thread count (see README, "Parallel execution and
+// determinism").
 #pragma once
 
 #include <cstdint>
@@ -23,6 +31,7 @@
 #include "core/classify.hpp"
 #include "core/implicit_palette.hpp"
 #include "core/params.hpp"
+#include "exec/exec.hpp"
 #include "graph/coloring.hpp"
 #include "graph/graph.hpp"
 #include "graph/palette.hpp"
@@ -64,6 +73,12 @@ struct ColorReduceConfig {
   /// 1.3's O(m+n) representation) and report its footprint. Only valid when
   /// the initial palettes are the uniform [Δ+1] of plain (Δ+1)-coloring.
   bool mirror_implicit = false;
+
+  /// Host-side execution context. Default-constructed = sequential; built
+  /// from a ThreadPool = sibling color-bin recursions and seed-evaluation
+  /// shards run as pool tasks. The pool must outlive the color_reduce()
+  /// call. Results are bit-identical for every thread count.
+  ExecContext exec{};
 };
 
 struct ColorReduceResult {
@@ -80,6 +95,16 @@ struct ColorReduceResult {
   /// final implicit-store footprint (populated when mirror_implicit).
   std::uint64_t explicit_palette_words = 0;
   std::unique_ptr<ImplicitPaletteStore> implicit_store;
+
+  /// Host-side execution telemetry (stats_export emits it under "timing";
+  /// deliberately kept out of CallStats so stats trees stay bit-comparable
+  /// across thread counts). depth_seconds[d] sums, over all recursion calls
+  /// at depth d, the wall-clock each call spent in its own body — partition
+  /// and seed search, palette updates, collects — excluding time inside
+  /// child recursions and time blocked on their completion.
+  unsigned threads_used = 1;
+  double wall_seconds = 0.0;
+  std::vector<double> depth_seconds;
 
   ColorReduceResult(NodeId n) : coloring(n) {}
 };

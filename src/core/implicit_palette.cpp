@@ -12,13 +12,20 @@ ImplicitPaletteStore::ImplicitPaletteStore(NodeId num_nodes, Color num_colors)
 }
 
 std::uint32_t ImplicitPaletteStore::add_hash(const KWiseHash& h2) {
+  const std::lock_guard<std::mutex> lk(hashes_mu_);
   hashes_.push_back(h2);
-  return static_cast<std::uint32_t>(hashes_.size() - 1);
+  const auto id = static_cast<std::uint32_t>(hashes_.size() - 1);
+  num_hashes_.store(id + 1, std::memory_order_release);
+  return id;
 }
 
 void ImplicitPaletteStore::push_restriction(NodeId v, std::uint32_t hash_id,
                                             std::uint32_t bin) {
-  DC_CHECK(hash_id < hashes_.size(), "unknown hash id");
+  // Lock-free id validation: ids are handed out by add_hash and the count
+  // only grows, so comparing against the atomic size never locks the hot
+  // per-node restriction loop against concurrent registrations.
+  DC_CHECK(hash_id < num_hashes_.load(std::memory_order_acquire),
+           "unknown hash id");
   chain_[v].push_back({hash_id, bin});
 }
 

@@ -13,7 +13,9 @@
 // measured on real runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -26,14 +28,21 @@ class ImplicitPaletteStore {
   /// All nodes start with palette {0, ..., num_colors-1}.
   ImplicitPaletteStore(NodeId num_nodes, Color num_colors);
 
-  /// Register a shared hash function (one per Partition call); returns its id.
+  /// Register a shared hash function (one per Partition call); returns its
+  /// id. Thread-safe: concurrent ColorReduce bin recursions register their
+  /// hashes under a mutex. Ids then depend on registration order (i.e. the
+  /// schedule), but nothing observable does — every query resolves ids
+  /// through the same table, and space_words() counts hashes, not ids.
   std::uint32_t add_hash(const KWiseHash& h2);
 
   /// Record that node v's palette was restricted to colors c with
-  /// h2(c)+1 == bin (bin is 1-based, matching the classifier).
+  /// h2(c)+1 == bin (bin is 1-based, matching the classifier). Safe to call
+  /// concurrently for distinct nodes (each node's chain is owned by the one
+  /// recursion branch that contains the node).
   void push_restriction(NodeId v, std::uint32_t hash_id, std::uint32_t bin);
 
-  /// Record that color c was used by a neighbor of v.
+  /// Record that color c was used by a neighbor of v. Same per-node
+  /// ownership rule as push_restriction.
   void remove_color(NodeId v, Color c);
 
   /// Materialize the current palette of v (O(num_colors) scan).
@@ -55,6 +64,8 @@ class ImplicitPaletteStore {
   };
 
   Color num_colors_;
+  mutable std::mutex hashes_mu_;  // guards hashes_ during concurrent runs
+  std::atomic<std::uint32_t> num_hashes_{0};  // = hashes_.size(), lock-free
   std::vector<KWiseHash> hashes_;
   std::vector<std::vector<Restriction>> chain_;   // per node
   std::vector<std::vector<Color>> removed_;       // per node, sorted

@@ -82,7 +82,7 @@ NetworkColorResult network_color_round(const Graph& g, const PaletteSet& pal,
       params.bin_cap_coeff * static_cast<double>(n) / static_cast<double>(b) +
       fpow(static_cast<double>(n), params.bin_cap_exp);
 
-  const NodeCostFn node_cost = [&](std::uint32_t v, const SeedBits& s) {
+  const auto node_cost = [&](std::uint32_t v, const SeedBits& s) {
     const KWiseHash h1(s.word_range(0, c), b);
     const KWiseHash h2(s.word_range(c, c), b - 1);
     const std::uint64_t my_bin = h1(v) + 1;

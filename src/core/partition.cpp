@@ -11,7 +11,8 @@ namespace detcol {
 
 PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
                           std::uint64_t n_orig, const PartitionParams& params,
-                          CliqueSim* sim, std::uint64_t salt) {
+                          CliqueSim* sim, std::uint64_t salt,
+                          ExecContext exec) {
   const std::uint64_t b = num_bins(inst.ell, params);
   DC_CHECK(b >= 2, "partition needs at least 2 bins");
   const unsigned c = params.independence;
@@ -22,12 +23,12 @@ PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
   // Batched evaluator: power tables + distinct-color index built once,
   // every candidate below costs one incremental pass (bit-identical to the
   // naive classify(), see core/seed_eval.hpp).
-  SeedEvalEngine engine(inst, palettes, n_orig, params);
+  SeedEvalEngine engine(inst, palettes, n_orig, params, exec);
 
   // Acceptance: no bad bins and |G0| within the O(n) budget of Cor. 3.10.
   const double threshold =
       params.g0_budget * static_cast<double>(n_orig);
-  SeedCostFn cost = [&engine](const SeedBits& s) {
+  const auto cost = [&engine](const SeedBits& s) {
     return engine.cost_size(s);
   };
 

@@ -14,6 +14,7 @@
 #include "core/classify.hpp"
 #include "core/params.hpp"
 #include "derand/strategies.hpp"
+#include "exec/exec.hpp"
 #include "graph/palette.hpp"
 #include "hashing/kwise.hpp"
 #include "sim/clique_sim.hpp"
@@ -31,9 +32,12 @@ struct PartitionResult {
 /// Runs seed selection for Partition(G, ell) on `inst` and returns the
 /// chosen partition. Charges the seed-selection round schedule and the
 /// instance-routing cost to `sim` if non-null. `salt` makes sibling calls
-/// deterministic but distinct.
+/// deterministic but distinct. The seed-evaluation engine shards its
+/// per-node passes over `exec`; the chosen seed and classification are
+/// bit-identical for any thread count.
 PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
                           std::uint64_t n_orig, const PartitionParams& params,
-                          CliqueSim* sim, std::uint64_t salt);
+                          CliqueSim* sim, std::uint64_t salt,
+                          ExecContext exec = {});
 
 }  // namespace detcol

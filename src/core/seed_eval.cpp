@@ -32,11 +32,12 @@ std::pair<KWiseHash, KWiseHash> seed_hash_pair(const SeedBits& seed,
 
 SeedEvalEngine::SeedEvalEngine(const Instance& inst, const PaletteSet& palettes,
                                std::uint64_t n_orig,
-                               const PartitionParams& params)
+                               const PartitionParams& params, ExecContext exec)
     : inst_(inst),
       pal_(palettes),
       n_orig_(n_orig),
       params_(params),
+      exec_(exec),
       b_(::detcol::num_bins(inst.ell, params)),  // the free function, not
                                                  // the member accessor
       c_(params.independence),
@@ -79,8 +80,8 @@ const Classification& SeedEvalEngine::evaluate(const SeedBits& seed) {
   // hash's words are untouched and everything derived from it is reused —
   // for chunks inside the h2 half of the seed that skips the d'(v) pass,
   // the most expensive part of a classification.
-  const bool h1_changed = h1_.load(seed.word_range(0, c_));
-  const bool h2_changed = h2_.load(seed.word_range(c_, c_));
+  const bool h1_changed = h1_.load(seed.word_range(0, c_), exec_);
+  const bool h2_changed = h2_.load(seed.word_range(c_, c_), exec_);
   if (primed_ && !h1_changed && !h2_changed) return scratch_.cls;
 
   const NodeId n = inst_.n();
@@ -89,41 +90,59 @@ const Classification& SeedEvalEngine::evaluate(const SeedBits& seed) {
 
   if (h1_changed || !primed_) {
     scratch_.raw_bin.resize(n);
-    for (NodeId v = 0; v < n; ++v) {
-      scratch_.raw_bin[v] = static_cast<std::uint32_t>(h1_.bin(v)) + 1;
-    }
+    parallel_for_shards(exec_, n, [&](std::size_t, std::size_t begin,
+                                      std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        scratch_.raw_bin[v] = static_cast<std::uint32_t>(h1_.bin(v)) + 1;
+      }
+    });
     classify_detail::fill_deg_in_bin(inst_.graph, scratch_.raw_bin,
-                                     out.deg_in_bin);
+                                     out.deg_in_bin, exec_);
   }
 
   if (h2_changed || !primed_) {
-    // h2 once per distinct color, plus per-bin color counts for the
-    // full-palette fast path.
+    // h2 once per distinct color (range mapping shards over exec_), plus
+    // per-bin color counts for the full-palette fast path (serial: one add
+    // per distinct color).
+    parallel_for_shards(exec_, cbin_.size(), [&](std::size_t,
+                                                 std::size_t begin,
+                                                 std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        cbin_[k] = static_cast<std::uint32_t>(h2_.bin(k)) + 1;  // 1..b-1
+      }
+    });
     colors_in_bin_.assign(b_ - 1, 0);
     for (std::size_t k = 0; k < cbin_.size(); ++k) {
-      const auto bin = static_cast<std::uint32_t>(h2_.bin(k)) + 1;  // 1..b-1
-      cbin_[k] = bin;
-      ++colors_in_bin_[bin - 1];
+      ++colors_in_bin_[cbin_[k] - 1];
     }
   }
 
-  // p'(v): memoized palette share.
-  out.pal_in_bin.assign(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    const std::uint32_t bin = scratch_.raw_bin[v];
-    if (bin == b_) continue;  // last bin receives no colors
-    if (full_palette_[v]) {
-      out.pal_in_bin[v] = colors_in_bin_[bin - 1];
-      continue;
+  // p'(v): memoized palette share. Every slot is written by its shard (the
+  // serial assign() a resize leaves behind would be the one unsharded O(n)
+  // pass of the pipeline).
+  out.pal_in_bin.resize(n);
+  parallel_for_shards(exec_, n, [&](std::size_t, std::size_t begin,
+                                    std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      const std::uint32_t bin = scratch_.raw_bin[v];
+      if (bin == b_) {
+        out.pal_in_bin[v] = 0;  // last bin receives no colors
+        continue;
+      }
+      if (full_palette_[v]) {
+        out.pal_in_bin[v] = colors_in_bin_[bin - 1];
+        continue;
+      }
+      std::uint64_t p = 0;
+      for (std::size_t k = pal_off_[v]; k < pal_off_[v + 1]; ++k) {
+        if (cbin_[pal_idx_[k]] == bin) ++p;
+      }
+      out.pal_in_bin[v] = p;
     }
-    std::uint64_t p = 0;
-    for (std::size_t k = pal_off_[v]; k < pal_off_[v + 1]; ++k) {
-      if (cbin_[pal_idx_[k]] == bin) ++p;
-    }
-    out.pal_in_bin[v] = p;
-  }
+  });
 
-  classify_detail::finish(inst_, pal_, n_orig_, params_, scratch_);
+  classify_detail::finish(inst_, pal_, n_orig_, params_, scratch_, exec_);
   primed_ = true;
   return out;
 }

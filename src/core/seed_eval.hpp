@@ -32,6 +32,7 @@
 #include "core/classify.hpp"
 #include "core/params.hpp"
 #include "derand/seedbits.hpp"
+#include "exec/exec.hpp"
 #include "graph/palette.hpp"
 #include "hashing/batch_eval.hpp"
 
@@ -42,8 +43,12 @@ class SeedEvalEngine {
   /// Precomputes power tables and the distinct-color index for `inst` /
   /// `palettes`. Both must outlive the engine and stay unmodified while it
   /// is in use (partition() holds palettes fixed for the whole seed search).
+  /// Every per-node pass of evaluate() shards over `exec` with static shard
+  /// boundaries; outputs are bit-identical for any thread count (see
+  /// exec/exec.hpp for the contract).
   SeedEvalEngine(const Instance& inst, const PaletteSet& palettes,
-                 std::uint64_t n_orig, const PartitionParams& params);
+                 std::uint64_t n_orig, const PartitionParams& params,
+                 ExecContext exec = {});
 
   /// Exact classification under `seed` (layout: independence words for h1,
   /// then independence words for h2 — partition()'s seed layout). The
@@ -62,6 +67,7 @@ class SeedEvalEngine {
   const PaletteSet& pal_;
   std::uint64_t n_orig_;
   const PartitionParams& params_;
+  ExecContext exec_;
   std::uint64_t b_;
   unsigned c_;
 

@@ -75,6 +75,17 @@ std::string result_to_json(const ColorReduceResult& result) {
   }
   w.key("num_colored")
       .value(static_cast<std::uint64_t>(result.coloring.num_colored()));
+  // Host-side execution telemetry: thread count and per-depth wall-clock,
+  // so bench trajectories can attribute speedups to recursion levels. Kept
+  // in its own block — everything outside "timing" is bit-identical across
+  // thread counts; timing is wall-clock and inherently is not.
+  w.key("threads").value(result.threads_used);
+  w.key("timing").begin_object();
+  w.key("wall_seconds").value(result.wall_seconds);
+  w.key("per_depth_seconds").begin_array();
+  for (const double s : result.depth_seconds) w.value(s);
+  w.end_array();
+  w.end_object();
   w.key("ledger");
   emit_ledger(w, result.ledger);
   w.key("stats");

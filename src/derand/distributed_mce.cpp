@@ -19,10 +19,8 @@ std::uint64_t encode(double v) {
 }  // namespace
 
 DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
-                                     unsigned chunk_bits,
-                                     const NodeCostFn& node_cost,
-                                     unsigned samples,
-                                     std::uint64_t salt) {
+                                     unsigned chunk_bits, NodeCostFn node_cost,
+                                     unsigned samples, std::uint64_t salt) {
   const std::uint32_t n = net.n();
   DC_CHECK(chunk_bits >= 1 && chunk_bits <= 20, "bad chunk size");
   const std::uint64_t candidates = std::uint64_t{1} << chunk_bits;

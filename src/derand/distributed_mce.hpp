@@ -18,19 +18,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "derand/seedbits.hpp"
 #include "sim/network.hpp"
+#include "util/function_ref.hpp"
 
 namespace detcol {
 
 /// Local conditional-expectation estimator of node `v` for a candidate seed
 /// completion: returns node v's share of E[q | prefix] (any deterministic
 /// sampled or exact estimate works; consistency across calls is all that is
-/// required).
+/// required). Non-owning (util/function_ref.hpp): the MCE loop invokes it
+/// n * candidates * samples times per chunk — pass a named callable.
 using NodeCostFn =
-    std::function<double(std::uint32_t node, const SeedBits& candidate)>;
+    FunctionRef<double(std::uint32_t node, const SeedBits& candidate)>;
 
 struct DistributedMceResult {
   SeedBits seed;
@@ -44,8 +45,7 @@ struct DistributedMceResult {
 /// deterministic suffix completion (sampled `samples` times; the sample
 /// average is aggregated). Requires 2^chunk_bits <= net.n().
 DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
-                                     unsigned chunk_bits,
-                                     const NodeCostFn& node_cost,
+                                     unsigned chunk_bits, NodeCostFn node_cost,
                                      unsigned samples = 2,
                                      std::uint64_t salt = 0xD157ULL);
 

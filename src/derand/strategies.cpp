@@ -27,7 +27,7 @@ std::uint64_t schedule_words(unsigned num_bits,
   return chunks * (std::uint64_t{1} << std::min(config.chunk_bits, 20u));
 }
 
-SeedSelectResult run_threshold_scan(unsigned num_bits, const SeedCostFn& cost,
+SeedSelectResult run_threshold_scan(unsigned num_bits, SeedCostFn cost,
                                     double threshold,
                                     const SeedSelectConfig& config,
                                     std::uint64_t salt) {
@@ -50,7 +50,7 @@ SeedSelectResult run_threshold_scan(unsigned num_bits, const SeedCostFn& cost,
   return best;
 }
 
-SeedSelectResult run_mce_sampled(unsigned num_bits, const SeedCostFn& cost,
+SeedSelectResult run_mce_sampled(unsigned num_bits, SeedCostFn cost,
                                  double threshold,
                                  const SeedSelectConfig& config,
                                  std::uint64_t salt) {
@@ -106,7 +106,7 @@ SeedSelectResult run_mce_sampled(unsigned num_bits, const SeedCostFn& cost,
   return r;
 }
 
-SeedSelectResult run_mce_exact(unsigned num_bits, const SeedCostFn& cost,
+SeedSelectResult run_mce_exact(unsigned num_bits, SeedCostFn cost,
                                double threshold,
                                const SeedSelectConfig& config,
                                std::uint64_t /*salt*/) {
@@ -152,7 +152,7 @@ SeedSelectResult run_mce_exact(unsigned num_bits, const SeedCostFn& cost,
 
 }  // namespace
 
-SeedSelectResult select_seed(unsigned num_bits, const SeedCostFn& cost,
+SeedSelectResult select_seed(unsigned num_bits, SeedCostFn cost,
                              double threshold, const SeedSelectConfig& config,
                              std::uint64_t salt) {
   DC_CHECK(num_bits >= 1, "seed needs bits");

@@ -33,11 +33,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
 #include "derand/seedbits.hpp"
+#include "util/function_ref.hpp"
 
 namespace detcol {
 
@@ -73,13 +73,18 @@ struct SeedSelectResult {
   std::vector<double> trajectory;
 };
 
-using SeedCostFn = std::function<double(const SeedBits&)>;
+/// Non-owning: the strategies call `cost` tens of thousands of times per
+/// search, and a FunctionRef invocation is one indirect call with no
+/// type-erasure allocation (util/function_ref.hpp). Pass a named callable
+/// (or an inline lambda as a call argument); do not *store* a SeedCostFn
+/// built from a temporary.
+using SeedCostFn = FunctionRef<double(const SeedBits&)>;
 
 /// Select a seed of `num_bits` bits minimizing/thresholding `cost`.
 /// `salt` namespaces the deterministic enumeration (callers pass a value
 /// derived from recursion depth and instance id so sibling calls explore
 /// different parts of the family in the same deterministic way).
-SeedSelectResult select_seed(unsigned num_bits, const SeedCostFn& cost,
+SeedSelectResult select_seed(unsigned num_bits, SeedCostFn cost,
                              double threshold, const SeedSelectConfig& config,
                              std::uint64_t salt);
 

@@ -1,0 +1,107 @@
+// ExecContext + deterministic data-parallel primitives.
+//
+// The determinism contract of this layer (the reason results are bit-
+// identical for every thread count):
+//
+//  * Static shard boundaries. A loop over n items is cut into
+//    shard_count(n, grain) contiguous shards whose boundaries depend only on
+//    n and the grain — never on the thread count or on runtime load. Thread
+//    count only changes which thread executes which shard.
+//
+//  * Shard-ordered reduction. parallel_reduce_shards materializes one
+//    partial result per shard and folds them sequentially in shard-index
+//    order. Floating-point sums therefore associate exactly as they would in
+//    a serial loop over the shards, independent of execution interleaving.
+//
+//  * Disjoint writes. parallel_for_shards bodies may write only to slots
+//    owned by their shard (plus commutative atomic accumulators).
+//
+// An ExecContext is a value (one pointer): default-constructed it is
+// sequential; constructed from a ThreadPool it fans shards out as pool
+// tasks. Either way the same shard decomposition runs, so the sequential
+// path is the 1-thread special case of the parallel one, not separate code.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace detcol {
+
+class ExecContext {
+ public:
+  constexpr ExecContext() = default;  // sequential
+  explicit ExecContext(ThreadPool& pool) : pool_(&pool) {}
+
+  unsigned num_threads() const { return pool_ ? pool_->num_threads() : 1; }
+  bool parallel() const { return num_threads() > 1; }
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+};
+
+/// Default items-per-shard. Coarse enough that shard dispatch is noise next
+/// to the per-item work of the seed-evaluation loops, fine enough to occupy
+/// ~8 threads at the bench scale (n = 2^14). Part of the determinism
+/// contract: changing it changes shard boundaries, which is safe (results
+/// are shard-order folded) but alters nothing observable anyway for the
+/// integer pipelines.
+inline constexpr std::size_t kDefaultShardGrain = 2048;
+
+/// Number of static shards for n items: depends only on n and grain.
+inline std::size_t shard_count(std::size_t n,
+                               std::size_t grain = kDefaultShardGrain) {
+  return (n + grain - 1) / grain;
+}
+
+/// Run body(shard_index, begin, end) over every shard of [0, n). Shards may
+/// execute concurrently and in any order; the call returns after all have
+/// finished. Exceptions from shard bodies propagate (first one wins).
+template <typename Body>
+void parallel_for_shards(ExecContext exec, std::size_t n, Body&& body,
+                         std::size_t grain = kDefaultShardGrain) {
+  const std::size_t shards = shard_count(n, grain);
+  if (shards == 0) return;
+  if (shards == 1 || !exec.parallel()) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      body(s, s * grain, std::min(n, (s + 1) * grain));
+    }
+    return;
+  }
+  TaskGroup group(*exec.pool());
+  for (std::size_t s = 0; s < shards; ++s) {
+    group.spawn([&body, s, grain, n] {
+      body(s, s * grain, std::min(n, (s + 1) * grain));
+    });
+  }
+  group.wait();
+}
+
+/// Shard-ordered reduction: body(shard_index, begin, end) -> T computed per
+/// shard (concurrently), then folded left-to-right in shard-index order with
+/// combine(acc, partial). The fold order is fixed, so floating-point results
+/// are bit-identical for every thread count.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce_shards(ExecContext exec, std::size_t n, T init, Body&& body,
+                         Combine&& combine,
+                         std::size_t grain = kDefaultShardGrain) {
+  const std::size_t shards = shard_count(n, grain);
+  std::vector<T> partial(shards);
+  parallel_for_shards(
+      exec, n,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        partial[s] = body(s, begin, end);
+      },
+      grain);
+  T acc = std::move(init);
+  for (std::size_t s = 0; s < shards; ++s) {
+    acc = combine(std::move(acc), std::move(partial[s]));
+  }
+  return acc;
+}
+
+}  // namespace detcol

@@ -1,0 +1,82 @@
+#include "exec/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+ThreadPool::ThreadPool(unsigned num_threads) : num_threads_(num_threads) {
+  DC_CHECK(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(num_threads - 1);
+  for (unsigned i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::run_one(std::unique_lock<std::mutex>& lk) {
+  if (queue_.empty()) return false;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  lk.unlock();
+  std::exception_ptr err;
+  try {
+    task.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  // Release the (possibly capturing) callable outside the lock.
+  task.fn = nullptr;
+  lk.lock();
+  if (err && !task.group->error_) task.group->error_ = err;
+  --task.group->pending_;
+  if (task.group->pending_ == 0) cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (!run_one(lk)) cv_.wait(lk);
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lk(pool_.mu_);
+    pool_.queue_.push_back(ThreadPool::Task{std::move(fn), this});
+    ++pending_;
+  }
+  pool_.cv_.notify_one();
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lk(pool_.mu_);
+  while (pending_ > 0) {
+    // Help: run queued work (any group's) rather than sleeping; block only
+    // when all remaining work of this group is running on other threads.
+    if (!pool_.run_one(lk)) pool_.cv_.wait(lk);
+  }
+  const std::exception_ptr err = error_;
+  error_ = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+TaskGroup::~TaskGroup() {
+  // Tasks hold a pointer to this group; never let it die with work in
+  // flight. Errors are swallowed here — join via wait() to observe them.
+  std::unique_lock<std::mutex> lk(pool_.mu_);
+  while (pending_ > 0) {
+    if (!pool_.run_one(lk)) pool_.cv_.wait(lk);
+  }
+}
+
+}  // namespace detcol

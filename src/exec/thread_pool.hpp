@@ -1,0 +1,89 @@
+// Worker pool + fork/join task groups for the deterministic execution layer.
+//
+// Design constraints (see README "Parallel execution and determinism"):
+//
+//  * Scheduling must never influence results. The pool only decides *when*
+//    and *on which thread* a task runs; callers are responsible for making
+//    task outputs independent of that (disjoint output slots, commutative
+//    accumulators, static shard boundaries). Everything in src/exec obeys
+//    this contract, so any thread count — including 1 — produces bit-
+//    identical colorings, ledgers and stats.
+//
+//  * Nested fork/join must not deadlock. ColorReduce recursions spawn groups
+//    from inside pool tasks; a blocking join could strand every worker in a
+//    wait. TaskGroup::wait() therefore *helps*: while its tasks are pending
+//    it pops and runs queued tasks (from any group) instead of sleeping, and
+//    only blocks when the queue is empty (its work is in flight elsewhere).
+//
+//  * A pool of n threads uses the calling thread plus n-1 workers, so
+//    ThreadPool(1) spawns nothing and TaskGroup degenerates to an inline
+//    FIFO loop — the sequential execution order, exactly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace detcol {
+
+class TaskGroup;
+
+class ThreadPool {
+ public:
+  /// `num_threads` >= 1 counts the calling thread: n-1 workers are spawned.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  void worker_loop();
+  /// Pops and runs the front task, releasing `lk` around the call. Returns
+  /// false (without running anything) when the queue is empty. `lk` is held
+  /// on entry and on return.
+  bool run_one(std::unique_lock<std::mutex>& lk);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  unsigned num_threads_;
+};
+
+/// A fork/join scope: spawn() submits tasks, wait() joins them (helping with
+/// queued work meanwhile) and rethrows the first exception a task raised.
+/// The group must outlive its tasks — the destructor joins if needed.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void spawn(std::function<void()> fn);
+  void wait();
+
+ private:
+  friend class ThreadPool;
+
+  ThreadPool& pool_;
+  std::size_t pending_ = 0;   // guarded by pool_.mu_
+  std::exception_ptr error_;  // first task failure, guarded by pool_.mu_
+};
+
+}  // namespace detcol

@@ -1,6 +1,7 @@
 #include "graph/coloring.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <sstream>
 #include <unordered_set>
@@ -52,17 +53,29 @@ VerifyResult verify_proper_partial(const Graph& g, const Coloring& coloring) {
 
 bool greedy_color(const Graph& g, const PaletteSet& palettes,
                   std::span<const NodeId> order, Coloring& coloring) {
+  // Neighbor colors are read (and the node's own color written) through
+  // relaxed atomics: parallel ColorReduce runs collect-and-color leaves of
+  // sibling color bins concurrently, so a neighbor in another bin may be
+  // committing its color right now. The outcome is unaffected either way —
+  // a concurrently-committed color belongs to a disjoint h2 color class, so
+  // it can never collide with a candidate from this node's palette (see
+  // README, "Parallel execution and determinism") — the atomics only make
+  // the unordered read well-defined. On x86 they compile to plain moves.
   std::unordered_set<Color> forbidden;
   for (const NodeId v : order) {
     DC_CHECK(!coloring.is_colored(v), "greedy asked to re-color node ", v);
     forbidden.clear();
     for (const NodeId u : g.neighbors(v)) {
-      if (coloring.is_colored(u)) forbidden.insert(coloring.color[u]);
+      const Color cu =
+          std::atomic_ref<Color>(coloring.color[u])
+              .load(std::memory_order_relaxed);
+      if (cu != Coloring::kUncolored) forbidden.insert(cu);
     }
     bool placed = false;
     for (const Color c : palettes.palette(v)) {
       if (forbidden.find(c) == forbidden.end()) {
-        coloring.color[v] = c;
+        std::atomic_ref<Color>(coloring.color[v])
+            .store(c, std::memory_order_relaxed);
         placed = true;
         break;
       }

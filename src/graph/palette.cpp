@@ -84,17 +84,19 @@ std::size_t PaletteSet::total_size() const {
   return s;
 }
 
-void PaletteSet::restrict(NodeId v, const std::function<bool(Color)>& keep) {
+void PaletteSet::restrict(NodeId v, FunctionRef<bool(Color)> keep) {
   auto& p = pal_[v];
   p.erase(std::remove_if(p.begin(), p.end(),
                          [&](Color c) { return !keep(c); }),
           p.end());
 }
 
-void PaletteSet::remove_color(NodeId v, Color c) {
+bool PaletteSet::remove_color(NodeId v, Color c) {
   auto& p = pal_[v];
   const auto it = std::lower_bound(p.begin(), p.end(), c);
-  if (it != p.end() && *it == c) p.erase(it);
+  if (it == p.end() || *it != c) return false;
+  p.erase(it);
+  return true;
 }
 
 void PaletteSet::truncate(NodeId v, std::size_t k) {

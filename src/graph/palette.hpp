@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/function_ref.hpp"
 
 namespace detcol {
 
@@ -46,10 +46,15 @@ class PaletteSet {
   std::size_t total_size() const;
 
   /// Keep only the colors for which `keep` returns true.
-  void restrict(NodeId v, const std::function<bool(Color)>& keep);
+  void restrict(NodeId v, FunctionRef<bool(Color)> keep);
 
-  /// Remove a single color if present (used-by-neighbor update).
-  void remove_color(NodeId v, Color c);
+  /// Remove a single color (used-by-neighbor update). Returns true iff the
+  /// color was present — i.e. the palette actually changed. The ColorReduce
+  /// driver keys its palette-update message accounting off this, which keeps
+  /// the ledger schedule-independent under parallel bin recursion (a color
+  /// committed by a concurrent sibling bin belongs to a disjoint h2 class
+  /// and can never be present here).
+  bool remove_color(NodeId v, Color c);
 
   /// Drop colors from the back until the palette has at most `k` entries
   /// (Theorem 1.3: shrink to deg+1 before collecting).

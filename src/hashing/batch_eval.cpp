@@ -25,7 +25,8 @@ BatchKWiseEval::BatchKWiseEval(std::span<const std::uint64_t> points,
   vals_.assign(n, 0);  // the zero polynomial evaluates to 0 everywhere
 }
 
-bool BatchKWiseEval::load(std::span<const std::uint64_t> seed_words) {
+bool BatchKWiseEval::load(std::span<const std::uint64_t> seed_words,
+                          ExecContext exec) {
   DC_CHECK(seed_words.size() == c_, "expected ", c_, " seed words, got ",
            seed_words.size());
   const std::size_t n = vals_.size();
@@ -48,21 +49,24 @@ bool BatchKWiseEval::load(std::span<const std::uint64_t> seed_words) {
     ++num_changed;
   }
   if (num_changed == 0) return false;
-  if (num_changed == 1) {
-    const std::uint64_t d0 = deltas[0];
-    const std::uint64_t* row = rows[0];
-    for (std::size_t i = 0; i < n; ++i) {
-      vals_[i] = m61_add(vals_[i], m61_mul(d0, row[i]));
-    }
-  } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t acc = vals_[i];
-      for (unsigned k = 0; k < num_changed; ++k) {
-        acc = m61_add(acc, m61_mul(deltas[k], rows[k][i]));
+  parallel_for_shards(exec, n, [&](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+    if (num_changed == 1) {
+      const std::uint64_t d0 = deltas[0];
+      const std::uint64_t* row = rows[0];
+      for (std::size_t i = begin; i < end; ++i) {
+        vals_[i] = m61_add(vals_[i], m61_mul(d0, row[i]));
       }
-      vals_[i] = acc;
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        std::uint64_t acc = vals_[i];
+        for (unsigned k = 0; k < num_changed; ++k) {
+          acc = m61_add(acc, m61_mul(deltas[k], rows[k][i]));
+        }
+        vals_[i] = acc;
+      }
     }
-  }
+  });
   return true;
 }
 

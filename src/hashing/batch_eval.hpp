@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "hashing/field.hpp"
 
 namespace detcol {
@@ -40,7 +41,11 @@ class BatchKWiseEval {
   /// nothing; the initial state is the all-zero polynomial. Returns true if
   /// any field value moved — false means every point evaluates exactly as
   /// before, so callers can reuse anything derived from the values.
-  bool load(std::span<const std::uint64_t> seed_words);
+  ///
+  /// The per-point multiply-add pass shards over `exec` (static shard
+  /// boundaries; pure integer arithmetic, so the values are bit-identical
+  /// for any thread count).
+  bool load(std::span<const std::uint64_t> seed_words, ExecContext exec = {});
 
   /// Field value of point i under the loaded coefficients, in [0, p).
   std::uint64_t field_value(std::size_t i) const { return vals_[i]; }

@@ -171,7 +171,7 @@ class LsDriver {
       return bad;
     };
 
-    SeedCostFn cost = [&](const SeedBits& s) {
+    const auto cost = [&](const SeedBits& s) {
       const KWiseHash h1(s.word_range(0, c), b);
       const KWiseHash h2(s.word_range(c, c), b - 1);
       return static_cast<double>(violations(h1, h2, nullptr));

@@ -149,7 +149,7 @@ MisColorResult mis_list_color(
             : static_cast<double>(remaining) -
                   static_cast<double>(ceil_div(remaining,
                                                params.removal_fraction));
-    SeedCostFn cost = [&](const SeedBits& s) {
+    const auto cost = [&](const SeedBits& s) {
       const KWiseHash h(s.word_range(0, c), 1);
       const PhaseOutcome sim = simulate_phase(st, h);
       // Cost: edges left after the phase; joining progress breaks zero-edge

@@ -32,6 +32,7 @@
 #include <initializer_list>
 #include <limits>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,6 +43,7 @@
 #include "baselines/randomized_reduce.hpp"
 #include "core/color_reduce.hpp"
 #include "core/stats_export.hpp"
+#include "exec/exec.hpp"
 #include "graph/coloring.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -94,6 +96,11 @@ Algorithm (color):
                      trial:    randomized iterated color trial baseline.
                      randreduce: ColorReduce with seed search disabled.
 
+Execution (color with --algo=reduce/randreduce, stats):
+  --threads=N        Host threads for ColorReduce (sibling color bins +
+                     seed-evaluation shards). Results are bit-identical for
+                     every N. Default: $DETCOL_THREADS, else 1.
+
 Output (gen, color, stats):
   --out=FILE         Write to FILE instead of stdout.
   --stats=FILE       (color, reduce/randreduce only) also dump run JSON.
@@ -126,20 +133,23 @@ class UsageError : public std::runtime_error {
 // (exit 2) rather than silently running a different instance.
 // ---------------------------------------------------------------------------
 
-std::uint64_t get_uint_strict(const ArgParser& args, const std::string& name,
-                              std::uint64_t fallback) {
-  if (!args.has(name)) return fallback;
-  const std::string s = args.get_string(name, "");
+/// `what` names the value's source in the error ("flag --n", "DETCOL_THREADS").
+std::uint64_t parse_uint_strict(const std::string& s, const std::string& what) {
   char* end = nullptr;
   errno = 0;
   const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
   // strtoull silently wraps a leading '-', so require a digit up front.
   if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])) ||
       *end != '\0' || errno == ERANGE) {
-    usage_error("flag --" + name + " expects an unsigned integer, got '" + s +
-                "'");
+    usage_error(what + " expects an unsigned integer, got '" + s + "'");
   }
   return v;
+}
+
+std::uint64_t get_uint_strict(const ArgParser& args, const std::string& name,
+                              std::uint64_t fallback) {
+  if (!args.has(name)) return fallback;
+  return parse_uint_strict(args.get_string(name, ""), "flag --" + name);
 }
 
 NodeId get_nodeid_strict(const ArgParser& args, const std::string& name,
@@ -181,6 +191,48 @@ bool get_bool_strict(const ArgParser& args, const std::string& name) {
   if (s == "true" || s == "1" || s == "yes") return true;
   if (s == "false" || s == "0" || s == "no") return false;
   usage_error("flag --" + name + " is boolean, got '" + s + "'");
+}
+
+constexpr unsigned kMaxThreads = 256;
+
+/// Thread count for ColorReduce runs: --threads flag first, DETCOL_THREADS
+/// env second, 1 otherwise. Both sources are validated strictly — a typo'd
+/// thread count must not silently run a different configuration.
+unsigned resolve_threads(const ArgParser& args) {
+  std::string src = "flag --threads";
+  std::string s;
+  if (args.has("threads")) {
+    s = args.get_string("threads", "");
+  } else if (const char* env = std::getenv("DETCOL_THREADS")) {
+    src = "DETCOL_THREADS";
+    s = env;
+  } else {
+    return 1;
+  }
+  const std::uint64_t v = parse_uint_strict(s, src);
+  if (v < 1 || v > kMaxThreads) {
+    usage_error(src + " must be in [1, " + std::to_string(kMaxThreads) +
+                "], got " + s);
+  }
+  return static_cast<unsigned>(v);
+}
+
+/// Pool + config pair for a ColorReduce run: the pool (when threads > 1)
+/// must outlive the run, so both travel together. unique_ptr because
+/// ThreadPool itself is immovable.
+struct ReduceExec {
+  std::unique_ptr<ThreadPool> pool;
+  ColorReduceConfig cfg;
+};
+
+ReduceExec make_reduce_exec(const ArgParser& args) {
+  ReduceExec out;
+  const unsigned threads = resolve_threads(args);
+  if (threads > 1) {
+    out.pool = std::make_unique<ThreadPool>(threads);
+    out.cfg.exec = ExecContext(*out.pool);
+  }
+  return out;
 }
 
 constexpr std::initializer_list<const char*> kGraphFlags = {
@@ -530,7 +582,8 @@ int cmd_gen(const ArgParser& args) {
 
 int cmd_color(const ArgParser& args) {
   reject_unknown_flags(args, combine(kGraphFlags, kPaletteFlags,
-                                     {"algo", "stats", "out", "quiet"}));
+                                     {"algo", "stats", "out", "quiet",
+                                      "threads"}));
   reject_positionals(args);
   const std::string algo_name = get_value_flag(args, "algo", "reduce");
   // --seed doubles as the algorithm seed only for the randomized baselines;
@@ -545,14 +598,19 @@ int cmd_color(const ArgParser& args) {
   if (args.has("stats") && algo != "reduce" && algo != "randreduce") {
     usage_error("--stats is only supported with --algo=reduce or randreduce");
   }
+  if (args.has("threads") && algo != "reduce" && algo != "randreduce") {
+    usage_error("--threads only applies to --algo=reduce or randreduce");
+  }
 
   Coloring coloring(g.num_nodes());
   std::uint64_t rounds = 0;  // model rounds where the algorithm reports them
   if (algo == "reduce" || algo == "randreduce") {
+    const ReduceExec exec = make_reduce_exec(args);
     ColorReduceResult r =
         algo == "reduce"
-            ? color_reduce(g, pal.palettes)
-            : randomized_reduce(g, pal.palettes, get_uint_strict(args, "seed", 1));
+            ? color_reduce(g, pal.palettes, exec.cfg)
+            : randomized_reduce(g, pal.palettes,
+                                get_uint_strict(args, "seed", 1), exec.cfg);
     const std::string stats = get_value_flag(args, "stats", "");
     if (!stats.empty()) {
       write_json_file(stats, result_to_json(r));
@@ -674,13 +732,14 @@ int cmd_verify(const ArgParser& args) {
 }
 
 int cmd_stats(const ArgParser& args) {
-  reject_unknown_flags(args,
-                       combine(kGraphFlags, kPaletteFlags, {"out", "quiet"}));
+  reject_unknown_flags(args, combine(kGraphFlags, kPaletteFlags,
+                                     {"out", "quiet", "threads"}));
   reject_positionals(args);
   get_bool_strict(args, "quiet");  // accepted as a no-op, but validated
   const GraphSource src = build_graph(args, /*allow_algo_seed=*/false);
   const PaletteSource pal = build_palettes(args, src.graph);
-  const ColorReduceResult r = color_reduce(src.graph, pal.palettes);
+  const ReduceExec exec = make_reduce_exec(args);
+  const ColorReduceResult r = color_reduce(src.graph, pal.palettes, exec.cfg);
   const VerifyResult v = verify_coloring(src.graph, pal.palettes, r.coloring);
   DC_CHECK(v.ok, "ColorReduce produced an invalid coloring: ", v.issue);
   with_output(args,

@@ -1,0 +1,53 @@
+// Non-owning callable reference: the hot-path alternative to std::function.
+//
+// The seed-search inner loops (derand/strategies, derand/distributed_mce)
+// invoke their cost callback tens of thousands of times per partition() call.
+// std::function is the wrong tool there: constructing one may heap-allocate
+// the captured state, and every copy repeats the allocation. The callbacks
+// never outlive the call that receives them, so ownership buys nothing — a
+// FunctionRef is two words (object pointer + trampoline) and is trivially
+// copyable.
+//
+// Lifetime contract: a FunctionRef references the callable it was built
+// from. Binding a temporary lambda is safe exactly when the FunctionRef does
+// not outlive the full expression (the usual case: passing a lambda directly
+// to a function parameter). To *store* a FunctionRef, bind it to a named
+// callable whose lifetime encloses the use — never `SeedCostFn f = [..]{..};`
+// at namespace/local scope, which dangles as soon as the statement ends.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace detcol {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::string_view — call sites pass lambdas where a FunctionRef is due.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<std::remove_reference_t<F>>>(
+              obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace detcol

@@ -142,6 +142,32 @@ TEST(CliDriver, StatsEmitsJsonDocument) {
   EXPECT_NE(doc.find("\"ledger\""), std::string::npos) << doc.substr(0, 200);
 }
 
+TEST(CliDriver, ThreadsFlagKeepsOutputBitIdenticalAndIsRecorded) {
+  const fs::path dir = test_dir();
+  const fs::path seq = dir / "seq.colors";
+  const fs::path par = dir / "par.colors";
+  const fs::path json = dir / "stats.json";
+  ASSERT_EQ(run_detcol("color --n=400 --p=0.03 --seed=7 --quiet "
+                       "--out=" + shq(seq.string())),
+            0);
+  ASSERT_EQ(run_detcol("color --n=400 --p=0.03 --seed=7 --quiet --threads=4 "
+                       "--out=" + shq(par.string())),
+            0);
+  EXPECT_EQ(read_file(seq), read_file(par));  // determinism contract
+  ASSERT_EQ(run_detcol("stats --n=300 --p=0.03 --threads=3 --out=" +
+                       shq(json.string())),
+            0);
+  const std::string doc = read_file(json);
+  EXPECT_NE(doc.find("\"threads\":3"), std::string::npos)
+      << doc.substr(0, 200);
+  EXPECT_NE(doc.find("\"per_depth_seconds\""), std::string::npos);
+  // Bad thread counts are usage errors, not data errors.
+  EXPECT_EQ(run_detcol("color --n=50 --threads=0 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("color --n=50 --threads=abc 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("color --n=50 --algo=greedy --threads=2 2>/dev/null"),
+            2);
+}
+
 TEST(CliDriver, UnknownCommandAndBadFlagsFailCleanly) {
   EXPECT_EQ(run_detcol("frobnicate 2>/dev/null"), 2);
   EXPECT_EQ(run_detcol("color --gen=nosuch 2>/dev/null"), 2);

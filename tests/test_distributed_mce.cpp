@@ -8,7 +8,7 @@ namespace {
 
 TEST(DistributedMce, TwoNetworkRoundsPerChunk) {
   cc::Network net(16);
-  const NodeCostFn cost = [](std::uint32_t, const SeedBits&) { return 1.0; };
+  const auto cost = [](std::uint32_t, const SeedBits&) { return 1.0; };
   const auto r = distributed_mce(net, 32, 4, cost);
   EXPECT_EQ(r.chunks, 8u);
   EXPECT_EQ(r.network_rounds, 16u);  // exactly 2 rounds per chunk
@@ -22,7 +22,7 @@ TEST(DistributedMce, FindsPlantedSeparableOptimum) {
   const unsigned bits = 32;
   const std::uint64_t pattern = 0xDEADBEEF;
   cc::Network net(n);
-  const NodeCostFn cost = [&](std::uint32_t v, const SeedBits& s) {
+  const auto cost = [&](std::uint32_t v, const SeedBits& s) {
     const bool want = (pattern >> v) & 1;
     return s.get_bits(v, 1) == static_cast<std::uint64_t>(want) ? 0.0 : 1.0;
   };
@@ -35,7 +35,7 @@ TEST(DistributedMce, FindsPlantedSeparableOptimum) {
 
 TEST(DistributedMce, AgreementIsDeterministic) {
   cc::Network net1(8), net2(8);
-  const NodeCostFn cost = [](std::uint32_t v, const SeedBits& s) {
+  const auto cost = [](std::uint32_t v, const SeedBits& s) {
     return static_cast<double>((s.get_bits(0, 8) ^ v) & 0x0F);
   };
   const auto a = distributed_mce(net1, 24, 3, cost);
@@ -47,19 +47,19 @@ TEST(DistributedMce, RespectsBandwidth) {
   // The implementation must schedule within one word per link per round —
   // the Network would throw otherwise. 2^chunk == n is the extreme case.
   cc::Network net(8);
-  const NodeCostFn cost = [](std::uint32_t, const SeedBits&) { return 0.5; };
+  const auto cost = [](std::uint32_t, const SeedBits&) { return 0.5; };
   EXPECT_NO_THROW(distributed_mce(net, 12, 3, cost));
 }
 
 TEST(DistributedMce, RejectsTooManyCandidates) {
   cc::Network net(8);
-  const NodeCostFn cost = [](std::uint32_t, const SeedBits&) { return 0.0; };
+  const auto cost = [](std::uint32_t, const SeedBits&) { return 0.0; };
   EXPECT_THROW(distributed_mce(net, 16, 4, cost), CheckError);  // 16 > 8
 }
 
 TEST(DistributedMce, RejectsNegativeCosts) {
   cc::Network net(8);
-  const NodeCostFn cost = [](std::uint32_t, const SeedBits&) { return -1.0; };
+  const auto cost = [](std::uint32_t, const SeedBits&) { return -1.0; };
   EXPECT_THROW(distributed_mce(net, 8, 2, cost), CheckError);
 }
 

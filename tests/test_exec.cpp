@@ -1,0 +1,164 @@
+// Unit tests for the deterministic execution layer (src/exec/): pool
+// lifecycle, nested fork/join without deadlock, exception propagation
+// through TaskGroup::wait(), and the static-shard / shard-ordered-reduction
+// contracts of parallel_for_shards / parallel_reduce_shards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "util/check.hpp"
+
+namespace detcol {
+namespace {
+
+TEST(ThreadPool, RunsSpawnedTasksAtEveryPoolSize) {
+  for (const unsigned threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) {
+      group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    EXPECT_EQ(ran.load(), 64) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, NestedForkJoinDoesNotDeadlock) {
+  // Each outer task spawns and joins an inner group — the recursion shape
+  // of the ColorReduce driver. With 2 threads a blocking (non-helping) join
+  // would strand every worker; helping must drain the inner tasks.
+  ThreadPool pool(2);
+  std::atomic<int> inner_ran{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.spawn([&pool, &inner_ran] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.spawn(
+            [&inner_ran] { inner_ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(inner_ran.load(), 64);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> survivors{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 16; ++i) {
+    group.spawn([&survivors, i] {
+      if (i == 5) throw std::runtime_error("task 5 failed");
+      survivors.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(survivors.load(), 15);  // wait() joins everything before throwing
+  // The group is reusable after the error was consumed.
+  group.spawn([&survivors] { survivors.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(survivors.load(), 16);
+}
+
+TEST(ThreadPool, CheckErrorPropagatesLikeDriverFailures) {
+  // DC_CHECK failures inside parallel bins must surface to the caller.
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.spawn([] { DC_CHECK(false, "bin invariant violated"); });
+  EXPECT_THROW(group.wait(), CheckError);
+}
+
+TEST(ThreadPool, DestructorJoinsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    TaskGroup group(pool);
+    for (int i = 0; i < 32; ++i) {
+      group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait(): ~TaskGroup must join (and ~ThreadPool must not tear down
+    // workers underneath running tasks).
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelForShards, StaticBoundariesCoverExactlyOnce) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const ExecContext exec(pool);
+    const std::size_t n = 10000;
+    std::vector<int> hits(n, 0);
+    const std::size_t shards = shard_count(n, 512);
+    std::vector<std::pair<std::size_t, std::size_t>> bounds(shards);
+    parallel_for_shards(
+        exec, n,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          bounds[shard] = {begin, end};  // gtest asserts are not thread-safe
+          for (std::size_t i = begin; i < end; ++i) ++hits[i];
+        },
+        /*grain=*/512);
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_EQ(bounds[s].first, s * 512);
+      EXPECT_EQ(bounds[s].second, std::min(n, (s + 1) * 512));
+    }
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(n));
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
+  }
+}
+
+TEST(ParallelForShards, SequentialContextNeedsNoPool) {
+  const ExecContext seq;  // default: sequential
+  EXPECT_FALSE(seq.parallel());
+  EXPECT_EQ(seq.num_threads(), 1u);
+  std::size_t covered = 0;
+  parallel_for_shards(seq, 100, [&](std::size_t, std::size_t b,
+                                    std::size_t e) { covered += e - b; });
+  EXPECT_EQ(covered, 100u);
+  parallel_for_shards(seq, 0, [&](std::size_t, std::size_t, std::size_t) {
+    FAIL() << "no shards expected for n=0";
+  });
+}
+
+TEST(ParallelReduceShards, FoldsInShardOrderAtEveryThreadCount) {
+  // Floating-point sum whose value depends on association order: equal
+  // results across thread counts prove the fold is shard-ordered, not
+  // completion-ordered.
+  const std::size_t n = 40000;
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = (i % 7 == 0) ? 1e16 : 1.0;  // poison associativity
+  }
+  const auto run = [&](ExecContext exec) {
+    return parallel_reduce_shards(
+        exec, n, 0.0,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          double s = 0.0;
+          for (std::size_t i = begin; i < end; ++i) s += xs[i];
+          return s;
+        },
+        [](double acc, double part) { return acc + part; },
+        /*grain=*/1024);
+  };
+  const double base = run(ExecContext{});
+  for (const unsigned threads : {2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      const double got = run(ExecContext(pool));
+      EXPECT_EQ(got, base) << threads << " threads, rep " << rep;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace detcol

@@ -12,11 +12,15 @@
 //     hashes and round counts).
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <numeric>
+#include <optional>
 
 #include "core/color_reduce.hpp"
 #include "core/partition.hpp"
 #include "core/seed_eval.hpp"
+#include "core/stats_export.hpp"
+#include "exec/exec.hpp"
 #include "graph/generators.hpp"
 #include "hashing/batch_eval.hpp"
 #include "util/rng.hpp"
@@ -214,9 +218,14 @@ TEST(SeedEvalEngine, MceCandidateStreamStaysExact) {
 
 // --- Layer 3: select_seed backend equivalence + golden fingerprints ------
 
+// Owning storage (SeedCostFn itself is a non-owning FunctionRef, so a
+// stored backend must keep its callable alive; the std::function lvalues
+// convert to SeedCostFn at each select_seed call).
+using StoredCostFn = std::function<double(const SeedBits&)>;
+
 struct CostBackends {
-  SeedCostFn naive;
-  SeedCostFn engine;
+  StoredCostFn naive;
+  StoredCostFn engine;
 };
 
 CostBackends make_backends(const Instance& inst, const PaletteSet& pal,
@@ -269,7 +278,7 @@ TEST(SelectSeedEquivalence, ExactMcePicksIdenticalSeeds) {
   SeedEvalEngine engine(inst, pal, g.num_nodes(), params);
   const auto backends =
       make_backends(inst, pal, g.num_nodes(), params, engine);
-  const auto wrap = [bits](const SeedCostFn& inner) {
+  const auto wrap = [bits](const StoredCostFn& inner) {
     return [bits, &inner](const SeedBits& meta) {
       return inner(SeedBits::expand(bits, 0x5EED, meta.get_bits(0, 12)));
     };
@@ -277,8 +286,8 @@ TEST(SelectSeedEquivalence, ExactMcePicksIdenticalSeeds) {
   SeedSelectConfig cfg;
   cfg.strategy = SeedStrategy::kMceExact;
   cfg.chunk_bits = 6;
-  const SeedCostFn naive_meta = wrap(backends.naive);
-  const SeedCostFn engine_meta = wrap(backends.engine);
+  const auto naive_meta = wrap(backends.naive);
+  const auto engine_meta = wrap(backends.engine);
   const auto a = select_seed(12, naive_meta, 0.0, cfg, 0);
   const auto b = select_seed(12, engine_meta, 0.0, cfg, 0);
   EXPECT_EQ(a.seed, b.seed);
@@ -360,6 +369,139 @@ TEST(GoldenSeeds, EndToEndColoringsUnchanged) {
     EXPECT_EQ(res.ledger.total_rounds(), cs.want_rounds);
     EXPECT_EQ(res.total_seed_evaluations, cs.want_evals);
     EXPECT_EQ(res.num_partitions, cs.want_partitions);
+  }
+}
+
+// --- Layer 4: thread-count invariance (PR: parallel execution layer) -----
+//
+// The exec layer's contract: static shard boundaries + shard-ordered
+// reduction + disjoint-palette sibling recursion make every observable —
+// colorings, round ledgers, stats trees, seed-selection trajectories, and
+// the PR 2 golden fingerprints above — bit-identical for any thread count.
+// The matrix below runs the full pipeline at 1/2/4/7 pool threads and
+// compares everything against the sequential (no-pool) baseline.
+
+constexpr unsigned kThreadMatrix[] = {1, 2, 4, 7};
+
+std::uint64_t coloring_hash(const Coloring& coloring) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Color c : coloring.color) h = fnv(h, c);
+  return h;
+}
+
+TEST(ParallelInvariance, ColorReduceBitIdenticalAcrossThreadCounts) {
+  struct Case {
+    Graph g;
+    std::uint64_t want_colorhash;  // the PR 2 golden fingerprints
+    std::uint64_t want_rounds;
+  };
+  std::vector<Case> cases;
+  cases.push_back(
+      {gen_random_regular(1024, 32, 7), 5179980065975731409ULL, 856});
+  cases.push_back({gen_gnp(512, 0.08, 3), 7636738355350604075ULL, 844});
+  cases.push_back(
+      {gen_power_law(800, 2.5, 24.0, 5), 12403744315688176387ULL, 556});
+  for (const auto& cs : cases) {
+    const PaletteSet pal = PaletteSet::delta_plus_one(cs.g);
+    const auto base = color_reduce(cs.g, pal, ColorReduceConfig{});
+    EXPECT_EQ(coloring_hash(base.coloring), cs.want_colorhash);
+    EXPECT_EQ(base.ledger.total_rounds(), cs.want_rounds);
+    const std::string base_ledger = ledger_to_json(base.ledger);
+    const std::string base_stats = call_stats_to_json(base.root);
+    for (const unsigned t : kThreadMatrix) {
+      ThreadPool pool(t);
+      ColorReduceConfig cfg;
+      cfg.exec = ExecContext(pool);
+      const auto r = color_reduce(cs.g, pal, cfg);
+      EXPECT_EQ(r.coloring.color, base.coloring.color) << t << " threads";
+      EXPECT_EQ(ledger_to_json(r.ledger), base_ledger) << t << " threads";
+      EXPECT_EQ(call_stats_to_json(r.root), base_stats) << t << " threads";
+      EXPECT_EQ(r.num_partitions, base.num_partitions);
+      EXPECT_EQ(r.num_collects, base.num_collects);
+      EXPECT_EQ(r.max_depth_reached, base.max_depth_reached);
+      EXPECT_EQ(r.peak_collect_words, base.peak_collect_words);
+      EXPECT_EQ(r.total_seed_evaluations, base.total_seed_evaluations);
+      EXPECT_EQ(r.threads_used, t);
+    }
+  }
+}
+
+TEST(ParallelInvariance, ForcedRecursionLedgersIdenticalAcrossThreadCounts) {
+  // collect_factor=2 forces deep recursion (many sibling groups in flight);
+  // deg+1 lists exercise the engine's partial-palette path concurrently.
+  const Graph g = gen_power_law(1500, 2.5, 8.0, 31);
+  const PaletteSet pal = PaletteSet::deg_plus_one_lists(g, 1u << 20, 7);
+  ColorReduceConfig base_cfg;
+  base_cfg.part.collect_factor = 2.0;
+  const auto base = color_reduce(g, pal, base_cfg);
+  for (const unsigned t : kThreadMatrix) {
+    ThreadPool pool(t);
+    ColorReduceConfig cfg = base_cfg;
+    cfg.exec = ExecContext(pool);
+    const auto r = color_reduce(g, pal, cfg);
+    EXPECT_EQ(r.coloring.color, base.coloring.color) << t << " threads";
+    EXPECT_EQ(ledger_to_json(r.ledger), ledger_to_json(base.ledger))
+        << t << " threads";
+    EXPECT_EQ(call_stats_to_json(r.root), call_stats_to_json(base.root))
+        << t << " threads";
+  }
+}
+
+TEST(ParallelInvariance, SelectSeedTrajectoryIdenticalAcrossThreadCounts) {
+  // The sampled-MCE golden fingerprint of PR 2, reproduced with the engine
+  // sharding its evaluations over every thread count, trajectory included.
+  const Graph g = gen_random_regular(1024, 32, 7);
+  const Instance inst = root_instance(g);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  PartitionParams params;
+  const unsigned bits = 2 * KWiseHash::seed_bits(params.independence);
+  const double threshold =
+      params.g0_budget * static_cast<double>(g.num_nodes());
+  SeedSelectConfig cfg;
+  cfg.strategy = SeedStrategy::kMceSampled;
+  std::optional<std::vector<double>> base_trajectory;
+  for (const unsigned t : kThreadMatrix) {
+    ThreadPool pool(t);
+    SeedEvalEngine engine(inst, pal, g.num_nodes(), params,
+                          ExecContext(pool));
+    const auto sel = select_seed(
+        bits, [&engine](const SeedBits& s) { return engine.cost_size(s); },
+        threshold, cfg, 0xBEEF);
+    EXPECT_EQ(seed_hash(sel.seed), 10795400587065833925ULL) << t;
+    EXPECT_EQ(sel.cost, 33.0) << t;
+    EXPECT_EQ(sel.evaluations, 64769u) << t;
+    if (!base_trajectory) {
+      base_trajectory = sel.trajectory;
+    } else {
+      EXPECT_EQ(sel.trajectory, *base_trajectory) << t << " threads";
+    }
+  }
+}
+
+TEST(ParallelInvariance, MirrorImplicitStoreDeterministicUnderThreads) {
+  // Internal hash-registration order may vary with the schedule; every
+  // observable of the implicit store (footprint, materialized palettes)
+  // must not.
+  const Graph g = gen_gnp(500, 0.08, 53);
+  const PaletteSet pal = PaletteSet::delta_plus_one(g);
+  ColorReduceConfig base_cfg;
+  base_cfg.mirror_implicit = true;
+  base_cfg.part.collect_factor = 2.0;
+  const auto base = color_reduce(g, pal, base_cfg);
+  ASSERT_NE(base.implicit_store, nullptr);
+  for (const unsigned t : {4u, 7u}) {
+    ThreadPool pool(t);
+    ColorReduceConfig cfg = base_cfg;
+    cfg.exec = ExecContext(pool);
+    const auto r = color_reduce(g, pal, cfg);
+    ASSERT_NE(r.implicit_store, nullptr);
+    EXPECT_EQ(r.implicit_store->space_words(),
+              base.implicit_store->space_words());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(r.implicit_store->materialize(v),
+                base.implicit_store->materialize(v))
+          << "node " << v << " at " << t << " threads";
+    }
   }
 }
 

@@ -27,7 +27,7 @@ TEST(ThresholdScan, StopsAtFirstGoodSeed) {
   SeedSelectConfig cfg;
   cfg.strategy = SeedStrategy::kThresholdScan;
   cfg.scan_max_seeds = 32;
-  const SeedCostFn cost = [&](const SeedBits& s) {
+  const auto cost = [&](const SeedBits& s) {
     return static_cast<double>(s.get_bits(0, 6));  // 0..63
   };
   const auto r = select_seed(bits, cost, 20.0, cfg, 11);
@@ -40,7 +40,7 @@ TEST(ThresholdScan, ExhaustsBudgetKeepsBest) {
   SeedSelectConfig cfg;
   cfg.strategy = SeedStrategy::kThresholdScan;
   cfg.scan_max_seeds = 8;
-  const SeedCostFn cost = [](const SeedBits&) { return 100.0; };
+  const auto cost = [](const SeedBits&) { return 100.0; };
   const auto r = select_seed(64, cost, 1.0, cfg, 3);
   EXPECT_FALSE(r.met_threshold);
   EXPECT_EQ(r.cost, 100.0);
@@ -50,7 +50,7 @@ TEST(ThresholdScan, ExhaustsBudgetKeepsBest) {
 TEST(ThresholdScan, Deterministic) {
   SeedSelectConfig cfg;
   cfg.strategy = SeedStrategy::kThresholdScan;
-  const SeedCostFn cost = [](const SeedBits& s) {
+  const auto cost = [](const SeedBits& s) {
     return static_cast<double>(s.get_bits(0, 8));
   };
   const auto a = select_seed(128, cost, 10.0, cfg, 42);
@@ -66,7 +66,7 @@ TEST(MceExact, FindsSeedAtMostExpectation) {
   SeedSelectConfig cfg;
   cfg.strategy = SeedStrategy::kMceExact;
   cfg.chunk_bits = 4;
-  const SeedCostFn cost = [&](const SeedBits& s) {
+  const auto cost = [&](const SeedBits& s) {
     return planted_cost(s, pattern, bits);
   };
   const auto r = select_seed(bits, cost, 8.0, cfg, 0);
@@ -85,7 +85,7 @@ TEST(MceExact, FindsSeedAtMostExpectation) {
 TEST(MceExact, RejectsLongSeeds) {
   SeedSelectConfig cfg;
   cfg.strategy = SeedStrategy::kMceExact;
-  const SeedCostFn cost = [](const SeedBits&) { return 0.0; };
+  const auto cost = [](const SeedBits&) { return 0.0; };
   EXPECT_THROW(select_seed(30, cost, 1.0, cfg, 0), CheckError);
 }
 
@@ -96,7 +96,7 @@ TEST(MceSampled, SolvesPlantedPatternDeterministically) {
   cfg.strategy = SeedStrategy::kMceSampled;
   cfg.chunk_bits = 8;
   cfg.mce_samples = 4;
-  const SeedCostFn cost = [&](const SeedBits& s) {
+  const auto cost = [&](const SeedBits& s) {
     return planted_cost(s, pattern, bits);
   };
   // Separable cost: sampled estimates rank candidates correctly, so the
@@ -118,7 +118,7 @@ TEST(MceSampled, FallsBackToScanWhenEstimatesMislead) {
   cfg.scan_max_seeds = 16;
   // Cost = 5 unless the first byte is exactly 0x77 (rare under MCE's greedy
   // walk, but the scan threshold of 5 accepts anything).
-  const SeedCostFn cost = [](const SeedBits& s) {
+  const auto cost = [](const SeedBits& s) {
     return s.get_bits(0, 8) == 0x77 ? 0.0 : 5.0;
   };
   const auto r = select_seed(64, cost, 5.0, cfg, 9);
@@ -131,7 +131,7 @@ TEST(Schedule, RoundsChargedMatchChunkCount) {
   cfg.strategy = SeedStrategy::kThresholdScan;
   cfg.chunk_bits = 8;
   cfg.aggregation_rounds = 2;
-  const SeedCostFn cost = [](const SeedBits&) { return 0.0; };
+  const auto cost = [](const SeedBits&) { return 0.0; };
   const auto r = select_seed(256, cost, 1.0, cfg, 0);
   // ceil(256/8)=32 chunks * 2 rounds + 1 broadcast.
   EXPECT_EQ(r.rounds_charged, 65u);
