@@ -8,6 +8,7 @@
 //   * vs sequential greedy (wall-clock reference, no rounds).
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "baselines/greedy.hpp"
@@ -15,6 +16,7 @@
 #include "baselines/random_trial.hpp"
 #include "baselines/randomized_reduce.hpp"
 #include "core/color_reduce.hpp"
+#include "exec/exec.hpp"
 #include "graph/generators.hpp"
 #include "lowspace/low_space.hpp"
 #include "util/cli.hpp"
@@ -27,6 +29,13 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const NodeId n = static_cast<NodeId>(args.get_uint("n", 8000));
   const NodeId deg = static_cast<NodeId>(args.get_uint("deg", 32));
+  // One pool shared by every contender: ColorReduce, the low-space driver
+  // AND the trial/mis baselines all shard over it, so wall-clock columns
+  // compare like for like at any --threads value (results stay bit-identical
+  // to the sequential run by the exec-layer contract).
+  const ExecHolder holder = make_exec_holder(
+      static_cast<unsigned>(args.get_uint("threads", 1)));
+  const ExecContext exec = holder.exec;
 
   struct Row {
     std::string name;
@@ -44,6 +53,7 @@ int main(int argc, char** argv) {
   {
     ColorReduceConfig cfg;
     cfg.part.collect_factor = 2.0;
+    cfg.exec = exec;
     WallTimer w;
     const auto r = color_reduce(g, pal, cfg);
     rows.push_back({"ColorReduce (det, this paper)", r.ledger.total_rounds(),
@@ -54,6 +64,7 @@ int main(int argc, char** argv) {
   {
     ColorReduceConfig cfg;
     cfg.part.collect_factor = 2.0;
+    cfg.exec = exec;
     WallTimer w;
     const auto r = randomized_reduce(g, pal, 0, cfg);
     rows.push_back({"ColorReduce (randomized ablation)",
@@ -63,14 +74,16 @@ int main(int argc, char** argv) {
   }
   {
     WallTimer w;
-    const auto r = random_trial_color(g, pal, 4242);
+    const auto r = random_trial_color(g, pal, 4242, kRandomTrialMaxRounds, exec);
     rows.push_back({"Randomized color trial", r.model_rounds, r.words_sent,
                     verify_coloring(g, pal, r.coloring).ok, w.millis(),
                     std::to_string(r.trial_rounds) + " trials"});
   }
   {
+    MisParams mis_params;
+    mis_params.exec = exec;
     WallTimer w;
-    const auto r = mis_baseline_color(g, pal);
+    const auto r = mis_baseline_color(g, pal, mis_params);
     rows.push_back({"Det. MIS-reduction (pre-paper det.)", r.rounds, r.words,
                     verify_coloring(g, pal, r.coloring).ok, w.millis(),
                     std::to_string(r.phases) + " Luby phases"});
@@ -78,6 +91,7 @@ int main(int argc, char** argv) {
   {
     LowSpaceParams params;
     params.delta = 0.04;
+    params.exec = exec;
     WallTimer w;
     const auto r = low_space_color(g, pal, params);
     rows.push_back({"LowSpaceColorReduce (Thm 1.4)", r.ledger.total_rounds(),

@@ -6,7 +6,9 @@
 // low-space algorithm is designed for.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
+#include "exec/exec.hpp"
 #include "graph/generators.hpp"
 #include "lowspace/low_space.hpp"
 #include "util/cli.hpp"
@@ -20,6 +22,11 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const auto ns = args.get_uint_list("ns", {2000, 8000});
   const auto degs = args.get_uint_list("degs", {8, 32, 128});
+  // Host threads for the driver (results are bit-identical for every value;
+  // only the wall-clock column moves).
+  const ExecHolder holder = make_exec_holder(
+      static_cast<unsigned>(args.get_uint("threads", 1)));
+  const ExecContext exec = holder.exec;
 
   Table t({"n", "Delta", "rounds", "mis phases", "mis calls", "partitions",
            "depth", "rounds/(lgD+lglg n)", "wall ms"});
@@ -30,6 +37,7 @@ int main(int argc, char** argv) {
       const PaletteSet pal = PaletteSet::delta_plus_one(g);
       LowSpaceParams params;
       params.delta = 0.04;
+      params.exec = exec;
       WallTimer timer;
       const auto r = low_space_color(g, pal, params);
       const double ms = timer.millis();
@@ -61,6 +69,7 @@ int main(int argc, char** argv) {
     const PaletteSet pal = PaletteSet::deg_plus_one_lists(g, 1u << 20, 3);
     LowSpaceParams params;
     params.delta = 0.04;
+    params.exec = exec;
     WallTimer timer;
     const auto r = low_space_color(g, pal, params);
     const double ms = timer.millis();

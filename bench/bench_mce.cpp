@@ -16,6 +16,11 @@
 // pool sizes, asserting bit-identical results; written to
 // BENCH_parallel.json. Flags: --scale-n, --scale-deg, --scale-threads,
 // --parallel-json=PATH (empty path skips the file).
+// Part 6: the low-space layer's seed search — naive per-candidate violator
+// recomputation vs the batched LowSpaceSeedEngine on the sampled-MCE
+// stream, plus end-to-end LowSpaceColorReduce thread scaling (bit-identical
+// asserted); written to BENCH_lowspace.json. Flags: --ls-n, --ls-deg,
+// --ls-evals, --ls-scale-n, --ls-scale-threads, --lowspace-json=PATH.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -24,15 +29,20 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+
 #include "core/classify.hpp"
 #include "core/color_reduce.hpp"
 #include "core/partition.hpp"
 #include "core/seed_eval.hpp"
 #include "exec/exec.hpp"
 #include "graph/generators.hpp"
+#include "lowspace/low_space.hpp"
+#include "lowspace/seed_engine.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/math.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -371,6 +381,170 @@ int main(int argc, char** argv) {
       std::ofstream out(pjson);
       out << w.str() << "\n";
       std::printf("wrote %s\n", pjson.c_str());
+    }
+  }
+
+  // Part 6 (F2f): the low-space layer's seed search. Same MCE candidate
+  // stream as Part 4, driven through the Algorithm 4 violator count — naive
+  // full recomputation per candidate vs the batched LowSpaceSeedEngine —
+  // then end-to-end LowSpaceColorReduce at a matrix of pool sizes.
+  {
+    const NodeId ln = static_cast<NodeId>(args.get_uint("ls-n", 1u << 14));
+    const NodeId ldeg = static_cast<NodeId>(args.get_uint("ls-deg", 32));
+    const std::uint64_t ls_evals = args.get_uint("ls-evals", 512);
+    const NodeId lsn = static_cast<NodeId>(
+        args.get_uint("ls-scale-n", 8192));
+    const auto ls_threads = args.get_uint_list("ls-scale-threads", {1, 2, 4});
+    const std::string ljson =
+        args.get_string("lowspace-json", "BENCH_lowspace.json");
+
+    const Graph gl = gen_random_regular(ln, ldeg, 11);
+    const PaletteSet pall = PaletteSet::delta_plus_one(gl);
+    std::vector<NodeId> orig(ln);
+    std::iota(orig.begin(), orig.end(), NodeId{0});
+    const std::uint64_t bl = std::max<std::uint64_t>(
+        2, ipow_floor(static_cast<double>(ln), 0.25));
+    const unsigned cl = 4;
+    const double slack_exp = 0.6;
+    const unsigned bits_l = 2 * KWiseHash::seed_bits(cl);
+    SeedSelectConfig stream_cfg;  // sampled-MCE defaults
+
+    // The naive cost exactly as the pre-engine low_space.cpp computed it
+    // (the reference oracle the engine's tests diff against).
+    const auto naive_cost = [&](const SeedBits& s) {
+      const KWiseHash h1(s.word_range(0, cl), bl);
+      const KWiseHash h2(s.word_range(cl, cl), bl - 1);
+      return static_cast<double>(lowspace_naive_violations(
+          gl, orig, pall, bl, slack_exp, h1, h2));
+    };
+    LowSpaceSeedEngine lengine(gl, orig, pall, bl, cl, slack_exp);
+    const auto engine_cost = [&lengine](const SeedBits& s) {
+      return lengine.cost(s);
+    };
+
+    const std::uint64_t chunks =
+        (bits_l + stream_cfg.chunk_bits - 1) / stream_cfg.chunk_bits;
+    const std::uint64_t cands_per_chunk = std::max<std::uint64_t>(
+        1, ls_evals / (chunks * stream_cfg.mce_samples));
+    drive_mce_stream(bits_l, naive_cost, stream_cfg, 2, 1, 0xF5);
+    drive_mce_stream(bits_l, engine_cost, stream_cfg, 2, 1, 0xF5);
+    const StreamResult rn = drive_mce_stream(bits_l, naive_cost, stream_cfg,
+                                             ls_evals, cands_per_chunk, 0xF5);
+    const StreamResult re = drive_mce_stream(bits_l, engine_cost, stream_cfg,
+                                             ls_evals, cands_per_chunk, 0xF5);
+    DC_CHECK(rn.evals == re.evals && rn.checksum == re.checksum,
+             "backends diverged: the engine must be bit-identical");
+    const double naive_eps = static_cast<double>(rn.evals) / rn.seconds;
+    const double engine_eps = static_cast<double>(re.evals) / re.seconds;
+    const double speedup = engine_eps / naive_eps;
+
+    Table t6({"backend", "evals", "evals/sec", "ns/eval"});
+    t6.row().cell("naive violations").cell(rn.evals).cell(naive_eps, 0).cell(
+        1e9 * rn.seconds / static_cast<double>(rn.evals), 0);
+    t6.row().cell("LowSpaceSeedEngine").cell(re.evals).cell(engine_eps, 0)
+        .cell(1e9 * re.seconds / static_cast<double>(re.evals), 0);
+    t6.print("F2f — low-space seed-evaluation throughput (n=" +
+             std::to_string(ln) + ", b=" + std::to_string(bl) + ")");
+    std::printf("lowspace engine speedup: %.1fx\n", speedup);
+
+    // End-to-end LowSpaceColorReduce thread scaling, bit-identity asserted.
+    const Graph gs = gen_random_regular(lsn, ldeg, 13);
+    const PaletteSet pals = PaletteSet::delta_plus_one(gs);
+    struct ScaleRun {
+      std::uint64_t threads = 0;
+      double seconds = 0.0;
+      std::uint64_t rounds = 0;
+      std::uint64_t colorhash = 0;
+    };
+    std::vector<ScaleRun> runs;
+    for (const std::uint64_t t : ls_threads) {
+      std::optional<ThreadPool> pool;
+      LowSpaceParams params;
+      params.delta = 0.04;
+      if (t > 1) {
+        pool.emplace(static_cast<unsigned>(t));
+        params.exec = ExecContext(*pool);
+      }
+      WallTimer wt;
+      const auto r = low_space_color(gs, pals, params);
+      ScaleRun run;
+      run.threads = t;
+      run.seconds = wt.seconds();
+      run.rounds = r.ledger.total_rounds();
+      run.colorhash = 0xcbf29ce484222325ULL;
+      for (NodeId v = 0; v < gs.num_nodes(); ++v) {
+        run.colorhash ^= r.coloring.color[v];
+        run.colorhash *= 0x100000001B3ULL;
+      }
+      if (!runs.empty()) {
+        DC_CHECK(run.colorhash == runs.front().colorhash &&
+                     run.rounds == runs.front().rounds,
+                 "thread count changed the low-space result — determinism "
+                 "contract violated");
+      }
+      runs.push_back(run);
+    }
+    double base_seconds = runs.front().seconds;
+    for (const auto& run : runs) {
+      if (run.threads == 1) base_seconds = run.seconds;
+    }
+    Table t7({"threads", "seconds", "speedup vs 1 thread"});
+    for (const auto& run : runs) {
+      t7.row()
+          .cell(run.threads)
+          .cell(run.seconds, 3)
+          .cell(base_seconds / run.seconds, 2);
+    }
+    t7.print("F2f — LowSpaceColorReduce end-to-end thread scaling (n=" +
+             std::to_string(lsn) + ", results bit-identical)");
+
+    if (!ljson.empty()) {
+      JsonWriter w;
+      w.begin_object();
+      w.key("bench").value("lowspace_seed_eval");
+      w.key("n").value(std::uint64_t{ln});
+      w.key("max_degree").value(std::uint64_t{gl.max_degree()});
+      w.key("num_bins").value(bl);
+      w.key("independence").value(cl);
+      w.key("seed_bits").value(bits_l);
+      w.key("distinct_colors").value(
+          std::uint64_t{lengine.num_distinct_colors()});
+      w.key("chunk_bits").value(stream_cfg.chunk_bits);
+      w.key("mce_samples").value(stream_cfg.mce_samples);
+      w.key("evals").value(rn.evals);
+      w.key("host_cpus")
+          .value(std::uint64_t{std::thread::hardware_concurrency()});
+      w.key("naive").begin_object();
+      w.key("seconds").value(rn.seconds);
+      w.key("evals_per_sec").value(naive_eps);
+      w.key("ns_per_eval").value(1e9 * rn.seconds /
+                                 static_cast<double>(rn.evals));
+      w.end_object();
+      w.key("engine").begin_object();
+      w.key("seconds").value(re.seconds);
+      w.key("evals_per_sec").value(engine_eps);
+      w.key("ns_per_eval").value(1e9 * re.seconds /
+                                 static_cast<double>(re.evals));
+      w.end_object();
+      w.key("speedup").value(speedup);
+      w.key("scaling").begin_object();
+      w.key("n").value(std::uint64_t{lsn});
+      w.key("rounds").value(runs.front().rounds);
+      w.key("colorhash").value(runs.front().colorhash);
+      w.key("runs").begin_array();
+      for (const auto& run : runs) {
+        w.begin_object();
+        w.key("threads").value(run.threads);
+        w.key("seconds").value(run.seconds);
+        w.key("speedup").value(base_seconds / run.seconds);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      w.end_object();
+      std::ofstream out(ljson);
+      out << w.str() << "\n";
+      std::printf("wrote %s\n", ljson.c_str());
     }
   }
 

@@ -11,7 +11,8 @@ namespace detcol {
 RandomTrialResult random_trial_color(const Graph& g,
                                      const PaletteSet& palettes,
                                      std::uint64_t seed,
-                                     std::uint64_t max_rounds) {
+                                     std::uint64_t max_rounds,
+                                     ExecContext exec) {
   const NodeId n = g.num_nodes();
   for (NodeId v = 0; v < n; ++v) {
     DC_CHECK(palettes.palette_size(v) > g.degree(v),
@@ -20,43 +21,72 @@ RandomTrialResult random_trial_color(const Graph& g,
   RandomTrialResult r(n);
   Xoshiro256 rng(seed);
   std::vector<Color> proposal(n, Coloring::kUncolored);
-  std::vector<Color> avail;
-  std::unordered_set<Color> forbidden;
+  std::vector<std::vector<Color>> avail(n);
+  std::vector<char> keep(n, 0);
 
+  // Per trial round, the heavy passes (available-color filtering, clash
+  // resolution) shard over `exec`; only the RNG draws and the commits stay
+  // serial in node order. The draw sequence — one next_below(|avail(v)|)
+  // per uncolored node in ascending order — is exactly the sequential
+  // implementation's, so trajectories are bit-identical for every thread
+  // count (and to the pre-parallel baseline).
   std::size_t uncolored = n;
   while (uncolored > 0) {
     DC_CHECK(r.trial_rounds < max_rounds,
              "random trial failed to converge in ", max_rounds, " rounds");
-    // Propose.
+    // Available colors per uncolored node: palette minus colored-neighbor
+    // colors. The coloring is stable for the whole pass.
+    parallel_for_shards(exec, n, [&](std::size_t, std::size_t begin,
+                                     std::size_t end) {
+      std::unordered_set<Color> forbidden;
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId v = static_cast<NodeId>(i);
+        if (r.coloring.is_colored(v)) continue;
+        forbidden.clear();
+        for (const NodeId u : g.neighbors(v)) {
+          if (r.coloring.is_colored(u)) forbidden.insert(r.coloring.color[u]);
+        }
+        avail[v].clear();
+        for (const Color c : palettes.palette(v)) {
+          if (forbidden.find(c) == forbidden.end()) avail[v].push_back(c);
+        }
+        DC_CHECK(!avail[v].empty(), "no available color — invariant broken");
+      }
+    });
+    // Propose (serial: the RNG stream is inherently ordered).
     for (NodeId v = 0; v < n; ++v) {
       if (r.coloring.is_colored(v)) continue;
-      forbidden.clear();
-      for (const NodeId u : g.neighbors(v)) {
-        if (r.coloring.is_colored(u)) forbidden.insert(r.coloring.color[u]);
-      }
-      avail.clear();
-      for (const Color c : palettes.palette(v)) {
-        if (forbidden.find(c) == forbidden.end()) avail.push_back(c);
-      }
-      DC_CHECK(!avail.empty(), "no available color — invariant broken");
-      proposal[v] = avail[rng.next_below(avail.size())];
+      proposal[v] = avail[v][rng.next_below(avail[v].size())];
       r.words_sent += g.degree(v);  // announce proposal to neighbors
     }
-    // Commit: keep unless an uncolored neighbor proposed the same color.
-    for (NodeId v = 0; v < n; ++v) {
-      if (r.coloring.is_colored(v)) continue;
-      bool clash = false;
-      for (const NodeId u : g.neighbors(v)) {
-        if (!r.coloring.is_colored(u) && proposal[u] == proposal[v]) {
-          clash = true;
-          break;
+    // Resolve: keep unless an uncolored neighbor proposed the same color.
+    // (Symmetric clashes mean a node that commits this round never shares
+    // its proposal with an uncolored neighbor, so reading the round-start
+    // coloring gives the same verdicts as the interleaved serial commit.)
+    parallel_for_shards(exec, n, [&](std::size_t, std::size_t begin,
+                                     std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId v = static_cast<NodeId>(i);
+        if (r.coloring.is_colored(v)) {
+          keep[v] = 0;
+          continue;
         }
+        bool clash = false;
+        for (const NodeId u : g.neighbors(v)) {
+          if (!r.coloring.is_colored(u) && proposal[u] == proposal[v]) {
+            clash = true;
+            break;
+          }
+        }
+        keep[v] = clash ? 0 : 1;
       }
-      if (!clash) {
-        r.coloring.color[v] = proposal[v];
-        --uncolored;
-        r.words_sent += g.degree(v);  // announce commit
-      }
+    });
+    // Commit (serial: cheap, and the word count stays an ordered sum).
+    for (NodeId v = 0; v < n; ++v) {
+      if (keep[v] == 0) continue;
+      r.coloring.color[v] = proposal[v];
+      --uncolored;
+      r.words_sent += g.degree(v);  // announce commit
     }
     ++r.trial_rounds;
     r.model_rounds += 2;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "exec/exec.hpp"
 #include "graph/coloring.hpp"
 #include "graph/graph.hpp"
 #include "graph/palette.hpp"
@@ -26,10 +27,16 @@ struct RandomTrialResult {
   explicit RandomTrialResult(NodeId n) : coloring(n) {}
 };
 
-/// Deterministic given `seed`. Requires p(v) > d(v) for all v.
-RandomTrialResult random_trial_color(const Graph& g,
-                                     const PaletteSet& palettes,
-                                     std::uint64_t seed,
-                                     std::uint64_t max_rounds = 4096);
+/// Convergence cap (callers that only want to set `exec` pass this).
+inline constexpr std::uint64_t kRandomTrialMaxRounds = 4096;
+
+/// Deterministic given `seed`. Requires p(v) > d(v) for all v. The per-node
+/// passes of each trial round shard over `exec` (static boundaries; the RNG
+/// draws stay serial in node order), so colorings, round counts and word
+/// counts are bit-identical for every thread count — the baseline is
+/// parallel-fair in speedup comparisons against the exec-aware algorithms.
+RandomTrialResult random_trial_color(
+    const Graph& g, const PaletteSet& palettes, std::uint64_t seed,
+    std::uint64_t max_rounds = kRandomTrialMaxRounds, ExecContext exec = {});
 
 }  // namespace detcol

@@ -38,16 +38,6 @@ std::uint64_t collect_words(const Instance& inst, const PaletteSet& pal,
       [](std::uint64_t acc, std::uint64_t part) { return acc + part; });
 }
 
-/// Relaxed atomic max — commutative, so the final value is independent of
-/// the order concurrent recursion branches reach it.
-template <typename T>
-void fetch_max(std::atomic<T>& a, T v) {
-  T cur = a.load(std::memory_order_relaxed);
-  while (cur < v &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
-
 // Concurrency discipline of the driver (the "why this is deterministic"):
 //
 // Sibling color bins G1..G_{b-1} of one Partition call run as pool tasks.
@@ -136,7 +126,7 @@ class Driver {
   void collect_and_color(const Instance& inst, std::uint64_t words,
                          CliqueSim& sim, TaskScratch& scratch) {
     sim.collect(words, "collect-color");
-    fetch_max(peak_collect_words_, sim.peak_collect_words());
+    atomic_fetch_max(peak_collect_words_, sim.peak_collect_words());
     // Color highest-degree-first within the instance.
     scratch.order.assign(inst.orig.begin(), inst.orig.end());
     std::sort(scratch.order.begin(), scratch.order.end(),
@@ -205,7 +195,7 @@ class Driver {
                       TaskScratch& scratch) {
     WallTimer timer;
     double own_seconds = 0.0;
-    fetch_max(max_depth_reached_, depth);
+    atomic_fetch_max(max_depth_reached_, depth);
     stats.depth = depth;
     stats.n = inst.n();
     stats.m = inst.graph.num_edges();

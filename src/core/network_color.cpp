@@ -50,7 +50,7 @@ void announce_colors(cc::Network& net, const Graph& g,
 NetworkColorResult network_color_round(const Graph& g, const PaletteSet& pal,
                                        const PartitionParams& params,
                                        unsigned chunk_bits,
-                                       std::uint64_t salt) {
+                                       std::uint64_t salt, ExecContext exec) {
   const NodeId n = g.num_nodes();
   DC_CHECK(n >= 4, "network demo needs at least 4 nodes");
   for (NodeId v = 0; v < n; ++v) {
@@ -117,8 +117,8 @@ NetworkColorResult network_color_round(const Graph& g, const PaletteSet& pal,
     return cost;
   };
 
-  const auto mce =
-      distributed_mce(net, bits, chunk_bits, node_cost, /*samples=*/2, salt);
+  const auto mce = distributed_mce(net, bits, chunk_bits, node_cost,
+                                   /*samples=*/2, salt, exec);
   result.mce_rounds = mce.network_rounds;
 
   const KWiseHash h1(mce.seed.word_range(0, c), b);

@@ -25,6 +25,7 @@
 
 #include "core/classify.hpp"
 #include "core/params.hpp"
+#include "exec/exec.hpp"
 #include "graph/coloring.hpp"
 #include "graph/palette.hpp"
 #include "sim/network.hpp"
@@ -44,10 +45,13 @@ struct NetworkColorResult {
 
 /// Run one Partition + color-all-parts level on a fresh message network of
 /// g.num_nodes() nodes. Requires p(v) > d(v) for all v and
-/// 2^chunk_bits <= n. The result's coloring is complete and proper.
+/// 2^chunk_bits <= n. The result's coloring is complete and proper. The
+/// per-node cost evaluations of the seed agreement shard over `exec`
+/// (bit-identical results for any thread count).
 NetworkColorResult network_color_round(const Graph& g, const PaletteSet& pal,
                                        const PartitionParams& params,
                                        unsigned chunk_bits = 4,
-                                       std::uint64_t salt = 0xC0FFEE);
+                                       std::uint64_t salt = 0xC0FFEE,
+                                       ExecContext exec = {});
 
 }  // namespace detcol

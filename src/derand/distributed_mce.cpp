@@ -20,7 +20,8 @@ std::uint64_t encode(double v) {
 
 DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
                                      unsigned chunk_bits, NodeCostFn node_cost,
-                                     unsigned samples, std::uint64_t salt) {
+                                     unsigned samples, std::uint64_t salt,
+                                     ExecContext exec) {
   const std::uint32_t n = net.n();
   DC_CHECK(chunk_bits >= 1 && chunk_bits <= 20, "bad chunk size");
   const std::uint64_t candidates = std::uint64_t{1} << chunk_bits;
@@ -55,10 +56,18 @@ DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
           completion.fill_suffix(fixed + count, salt ^ (fixed * 0x9E37ULL),
                                  s);
         }
-        for (std::uint32_t v = 0; v < n; ++v) {
-          contrib[static_cast<std::size_t>(v) * cand_here + cand] +=
-              encode(node_cost(v, completion));
-        }
+        // The estimate matrix is embarrassingly parallel: every node owns
+        // its contrib slot and the completion buffer is read-only for the
+        // whole pass. Sharding over nodes keeps each slot's accumulation in
+        // sample order, so the fixed-point sums are bit-identical for any
+        // thread count.
+        parallel_for_shards(exec, n, [&](std::size_t, std::size_t begin,
+                                         std::size_t end) {
+          for (std::size_t v = begin; v < end; ++v) {
+            contrib[v * cand_here + cand] += encode(
+                node_cost(static_cast<std::uint32_t>(v), completion));
+          }
+        });
       }
     }
 

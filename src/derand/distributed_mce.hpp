@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "derand/seedbits.hpp"
+#include "exec/exec.hpp"
 #include "sim/network.hpp"
 #include "util/function_ref.hpp"
 
@@ -29,7 +30,10 @@ namespace detcol {
 /// completion: returns node v's share of E[q | prefix] (any deterministic
 /// sampled or exact estimate works; consistency across calls is all that is
 /// required). Non-owning (util/function_ref.hpp): the MCE loop invokes it
-/// n * candidates * samples times per chunk — pass a named callable.
+/// n * candidates * samples times per chunk — pass a named callable. When a
+/// parallel ExecContext is supplied, the estimate matrix fill invokes it
+/// concurrently for distinct nodes (the candidate buffer is shared and
+/// read-only), so the callable must be safe to call from multiple threads.
 using NodeCostFn =
     FunctionRef<double(std::uint32_t node, const SeedBits& candidate)>;
 
@@ -43,10 +47,14 @@ struct DistributedMceResult {
 /// Agree on a `num_bits`-bit seed over `net` with chunked MCE. The estimator
 /// is evaluated with the candidate chunk appended to the agreed prefix and a
 /// deterministic suffix completion (sampled `samples` times; the sample
-/// average is aggregated). Requires 2^chunk_bits <= net.n().
+/// average is aggregated). Requires 2^chunk_bits <= net.n(). The per-chunk
+/// estimate matrix (disjoint per-node slots) shards over `exec` with static
+/// boundaries while the fixed-point encode/aggregate order stays fixed, so
+/// the agreed seed is bit-identical for any thread count.
 DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
                                      unsigned chunk_bits, NodeCostFn node_cost,
                                      unsigned samples = 2,
-                                     std::uint64_t salt = 0xD157ULL);
+                                     std::uint64_t salt = 0xD157ULL,
+                                     ExecContext exec = {});
 
 }  // namespace detcol

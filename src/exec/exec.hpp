@@ -23,7 +23,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -43,6 +46,35 @@ class ExecContext {
  private:
   ThreadPool* pool_ = nullptr;
 };
+
+/// Pool + context pair for callers that size the pool from a runtime thread
+/// count: the ExecContext holds a raw pointer into the pool, so both must
+/// travel (and die) together. unique_ptr because ThreadPool is immovable;
+/// threads <= 1 yields the sequential context with no pool.
+struct ExecHolder {
+  std::unique_ptr<ThreadPool> pool;
+  ExecContext exec;
+};
+
+inline ExecHolder make_exec_holder(unsigned threads) {
+  ExecHolder out;
+  if (threads > 1) {
+    out.pool = std::make_unique<ThreadPool>(threads);
+    out.exec = ExecContext(*out.pool);
+  }
+  return out;
+}
+
+/// Relaxed atomic max — commutative, so the final value is independent of
+/// the order concurrent branches reach it (used for driver-wide peak/depth
+/// accumulators by both recursion drivers).
+template <typename T>
+void atomic_fetch_max(std::atomic<T>& a, T v) {
+  T cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
 
 /// Default items-per-shard. Coarse enough that shard dispatch is noise next
 /// to the per-item work of the seed-evaluation loops, fine enough to occupy
@@ -73,9 +105,18 @@ void parallel_for_shards(ExecContext exec, std::size_t n, Body&& body,
     return;
   }
   TaskGroup group(*exec.pool());
+  // One shared context per call, so each spawned closure captures only
+  // {&ctx, s} (16 bytes): it fits std::function's small-object buffer and
+  // the per-shard spawn stays allocation-free — parallel_for_shards sits in
+  // the per-candidate hot loop of the seed engines.
+  struct Ctx {
+    std::remove_reference_t<Body>* body;
+    std::size_t grain;
+    std::size_t n;
+  } ctx{&body, grain, n};
   for (std::size_t s = 0; s < shards; ++s) {
-    group.spawn([&body, s, grain, n] {
-      body(s, s * grain, std::min(n, (s + 1) * grain));
+    group.spawn([&ctx, s] {
+      (*ctx.body)(s, s * ctx.grain, std::min(ctx.n, (s + 1) * ctx.grain));
     });
   }
   group.wait();

@@ -1,10 +1,14 @@
 #include "lowspace/low_space.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 
+#include "exec/thread_pool.hpp"
 #include "hashing/kwise.hpp"
+#include "lowspace/seed_engine.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/math.hpp"
@@ -19,6 +23,20 @@ struct LsInstance {
   NodeId n() const { return graph.num_nodes(); }
 };
 
+// Concurrency discipline (mirrors core/color_reduce.cpp's driver): the
+// sibling color bins G1..G_{b-1} of one LowSpacePartition run as pool tasks.
+// Two branches running concurrently belong to distinct bins of a common
+// ancestor partition, so their node sets are disjoint (every coloring entry
+// and palette row has one writer) and their palettes were restricted to
+// disjoint h2 color classes *before* the group was spawned — a color
+// committed by a concurrent branch is never present in (and never removable
+// from) a palette this branch reads, so whether a cross-branch color read
+// observes it cannot change any output. Cross-branch color accesses go
+// through relaxed atomics purely to make them well-defined; driver counters
+// are commutative atomic add/max; the MpcSim (space peaks folded by max,
+// internal ledger unobserved in the result) is mutex-guarded; ledgers merge
+// at the fork/join boundary in bin-index order. Net effect: colorings,
+// ledgers and every counter are bit-identical for any thread count.
 class LsDriver {
  public:
   LsDriver(const Graph& g, const PaletteSet& palettes,
@@ -28,7 +46,10 @@ class LsDriver {
         p_(params),
         salt_(salt),
         result_(g.num_nodes()),
-        mpc_(local_space(), total_space()) {}
+        mpc_(local_space(), total_space()) {
+    // The MIS sub-searches shard over the driver's pool.
+    p_.mis.exec = p_.exec;
+  }
 
   LowSpaceResult run() {
     for (NodeId v = 0; v < g_.num_nodes(); ++v) {
@@ -42,6 +63,13 @@ class LsDriver {
     result_.ledger = recurse(root, 0, salt_);
     result_.peak_local_words = mpc_.peak_local_words();
     result_.peak_total_words = mpc_.peak_total_words();
+    // Fold the concurrent accumulators into the plain result fields.
+    result_.depth_reached = depth_reached_.load();
+    result_.num_partitions = num_partitions_.load();
+    result_.num_mis_calls = num_mis_calls_.load();
+    result_.total_mis_phases = total_mis_phases_.load();
+    result_.seed_evaluations = seed_evaluations_.load();
+    result_.diverted_violators = diverted_violators_.load();
     return std::move(result_);
   }
 
@@ -73,18 +101,22 @@ class LsDriver {
     return 4 * input + extra;
   }
 
-  /// Drop colors used by colored original-graph neighbors.
+  /// Drop colors used by colored original-graph neighbors. The routed word
+  /// count is the number of removals that actually changed a palette — a
+  /// schedule-independent quantity (class comment: a concurrently committed
+  /// color is never present in this branch's palettes).
   void update_palettes(std::span<const NodeId> nodes) {
     std::uint64_t touched = 0;
     for (const NodeId v : nodes) {
       for (const NodeId u : g_.neighbors(v)) {
-        if (result_.coloring.is_colored(u)) {
-          pal_.remove_color(v, result_.coloring.color[u]);
-          ++touched;
-        }
+        const Color cu = std::atomic_ref<Color>(result_.coloring.color[u])
+                             .load(std::memory_order_relaxed);
+        if (cu == Coloring::kUncolored) continue;
+        if (pal_.remove_color(v, cu)) ++touched;
       }
     }
     if (touched > 0) {
+      const std::lock_guard<std::mutex> lk(mpc_mu_);
       mpc_.route(touched, std::min(touched, mpc_.local_space()),
                  "palette-update");
     }
@@ -101,22 +133,27 @@ class LsDriver {
     MisColorResult mis = mis_list_color(inst.graph, pals, p_.mis, salt);
     for (NodeId v = 0; v < inst.n(); ++v) {
       DC_CHECK(mis.color[v] != Coloring::kUncolored, "MIS left a node");
-      result_.coloring.color[inst.orig[v]] = mis.color[v];
+      std::atomic_ref<Color>(result_.coloring.color[inst.orig[v]])
+          .store(mis.color[v], std::memory_order_relaxed);
     }
-    ++result_.num_mis_calls;
-    result_.total_mis_phases += mis.phases;
-    result_.seed_evaluations += mis.seed_evaluations;
+    num_mis_calls_.fetch_add(1, std::memory_order_relaxed);
+    total_mis_phases_.fetch_add(mis.phases, std::memory_order_relaxed);
+    seed_evaluations_.fetch_add(mis.seed_evaluations,
+                                std::memory_order_relaxed);
     // Space accounting for the reduction graph (Section 4.1's bound).
     const ReductionGraph red = build_reduction(inst.graph, pals);
-    mpc_.note_resident(std::min<std::uint64_t>(red.size_words(),
-                                               mpc_.local_space()),
-                       red.size_words());
+    {
+      const std::lock_guard<std::mutex> lk(mpc_mu_);
+      mpc_.note_resident(std::min<std::uint64_t>(red.size_words(),
+                                                 mpc_.local_space()),
+                         red.size_words());
+    }
     return mis.ledger;
   }
 
   RoundLedger recurse(const LsInstance& inst, unsigned depth,
                       std::uint64_t salt) {
-    result_.depth_reached = std::max(result_.depth_reached, depth);
+    atomic_fetch_max(depth_reached_, depth);
     RoundLedger led;
     if (inst.n() == 0) return led;
 
@@ -142,87 +179,56 @@ class LsDriver {
     const unsigned bits = 2 * KWiseHash::seed_bits(c);
     LsInstance high = make_child(inst, high_local);
 
-    auto violations = [&](const KWiseHash& h1, const KWiseHash& h2,
-                          std::vector<std::uint32_t>* bins_out) {
-      std::uint64_t bad = 0;
-      std::vector<std::uint32_t> bin(high.n());
-      for (NodeId v = 0; v < high.n(); ++v) {
-        bin[v] = static_cast<std::uint32_t>(h1(high.orig[v])) + 1;
-      }
-      for (NodeId v = 0; v < high.n(); ++v) {
-        std::uint64_t dprime = 0;
-        for (const NodeId u : high.graph.neighbors(v)) {
-          if (bin[u] == bin[v]) ++dprime;
-        }
-        const double d = static_cast<double>(high.graph.degree(v));
-        const double slack = std::pow(std::max(d, 2.0), p_.slack_exp);
-        bool ok = std::abs(static_cast<double>(dprime) -
-                           d / static_cast<double>(b)) <= slack;
-        if (ok && bin[v] != b) {
-          std::uint64_t pprime = 0;
-          for (const Color col : pal_.palette(high.orig[v])) {
-            if (h2(col) + 1 == bin[v]) ++pprime;
-          }
-          if (pprime <= dprime) ok = false;
-        }
-        if (!ok) ++bad;
-      }
-      if (bins_out != nullptr) *bins_out = std::move(bin);
-      return bad;
-    };
-
-    const auto cost = [&](const SeedBits& s) {
-      const KWiseHash h1(s.word_range(0, c), b);
-      const KWiseHash h2(s.word_range(c, c), b - 1);
-      return static_cast<double>(violations(h1, h2, nullptr));
-    };
+    // Batched incremental violator counts (lowspace/seed_engine.hpp): power
+    // tables amortized over the whole search, per-node passes sharded over
+    // the pool; bit-identical to the naive per-candidate recomputation.
+    LowSpaceSeedEngine engine(high.graph, high.orig, pal_, b, c, p_.slack_exp,
+                              p_.exec);
+    const auto cost = [&engine](const SeedBits& s) { return engine.cost(s); };
     const SeedSelectResult sel =
         select_seed(bits, cost, 0.0, p_.seed, sub_seed(salt, 1));
-    result_.seed_evaluations += sel.evaluations;
-    ++result_.num_partitions;
+    seed_evaluations_.fetch_add(sel.evaluations, std::memory_order_relaxed);
+    num_partitions_.fetch_add(1, std::memory_order_relaxed);
     // Seed schedule: per chunk one concurrent prefix-sum family (Lemma 2.1).
-    mpc_.prefix_sum(high.n(), "seed-selection",
-                    ceil_div(bits, p_.seed.chunk_bits));
+    {
+      const std::lock_guard<std::mutex> lk(mpc_mu_);
+      mpc_.prefix_sum(high.n(), "seed-selection",
+                      ceil_div(bits, p_.seed.chunk_bits));
+    }
     led.charge("seed-selection", sel.rounds_charged, sel.words_charged);
 
-    const KWiseHash h1(sel.seed.word_range(0, c), b);
-    const KWiseHash h2(sel.seed.word_range(c, c), b - 1);
-    std::vector<std::uint32_t> bin;
-    const std::uint64_t bad = violations(h1, h2, &bin);
+    // One evaluation of the selected seed (usually already cached from the
+    // search) yields the violator count, the per-node bins *and* the
+    // Lemma 4.5 verdicts — the assign loop below reuses them instead of
+    // recomputing d'/p' from scratch.
+    const std::uint64_t bad = engine.violations(sel.seed);
+    const std::span<const std::uint32_t> bin = engine.bins();
+    const std::span<const char> good = engine.good();
     if (bad > 0) {
       DC_LOG_DEBUG << "low-space partition diverts " << bad
                    << " violator(s) to G0";
-      result_.diverted_violators += bad;
+      diverted_violators_.fetch_add(bad, std::memory_order_relaxed);
     }
 
     // Assign: violators join the low-degree set G0.
     std::vector<std::vector<NodeId>> bin_local(b);
     std::vector<NodeId> g0_local = low_local;
     for (NodeId v = 0; v < high.n(); ++v) {
-      std::uint64_t dprime = 0;
-      for (const NodeId u : high.graph.neighbors(v)) {
-        if (bin[u] == bin[v]) ++dprime;
-      }
-      const double d = static_cast<double>(high.graph.degree(v));
-      const double slack = std::pow(std::max(d, 2.0), p_.slack_exp);
-      bool ok = std::abs(static_cast<double>(dprime) -
-                         d / static_cast<double>(b)) <= slack;
-      std::uint64_t pprime = 0;
-      if (ok && bin[v] != b) {
-        for (const Color col : pal_.palette(high.orig[v])) {
-          if (h2(col) + 1 == bin[v]) ++pprime;
-        }
-        if (pprime <= dprime) ok = false;
-      }
-      if (ok) {
+      if (good[v] != 0) {
         bin_local[bin[v] - 1].push_back(high_local[v]);
       } else {
         g0_local.push_back(high_local[v]);
       }
     }
-    mpc_.sort(inst.graph.size_words(), "partition-route");
+    {
+      const std::lock_guard<std::mutex> lk(mpc_mu_);
+      mpc_.sort(inst.graph.size_words(), "partition-route");
+    }
 
-    // Restrict palettes of color bins.
+    // Restrict palettes of color bins. This happens *before* the sibling
+    // group is spawned: it is what makes the group's palettes pairwise
+    // disjoint, and with them every cross-branch interaction harmless.
+    const KWiseHash h2(sel.seed.word_range(c, c), b - 1);
     for (std::uint64_t i = 0; i + 1 < b; ++i) {
       for (const NodeId l : bin_local[i]) {
         const NodeId v = inst.orig[l];
@@ -230,15 +236,30 @@ class LsDriver {
       }
     }
 
-    // Recurse on color bins in parallel.
-    std::vector<RoundLedger> group;
-    for (std::uint64_t i = 0; i + 1 < b; ++i) {
+    // Recurse on color bins in parallel (disjoint palettes): dispatched as
+    // pool tasks when an ExecContext is configured, inline otherwise. Each
+    // branch writes its own pre-sized ledger slot; the join merges them in
+    // bin-index order, so both paths produce identical results.
+    const std::uint64_t groups = b - 1;
+    std::vector<RoundLedger> group(groups);
+    const auto run_bin = [&](std::uint64_t i) {
       LsInstance child = make_child(inst, bin_local[i]);
-      group.push_back(recurse(child, depth + 1, sub_seed(salt, 100 + i)));
+      group[i] = recurse(child, depth + 1, sub_seed(salt, 100 + i));
+    };
+    if (p_.exec.parallel() && groups > 1) {
+      TaskGroup tg(*p_.exec.pool());
+      for (std::uint64_t i = 0; i < groups; ++i) {
+        tg.spawn([&run_bin, i] { run_bin(i); });
+      }
+      tg.wait();
+    } else {
+      for (std::uint64_t i = 0; i < groups; ++i) run_bin(i);
     }
     led.merge_parallel(group);
 
-    // Last bin: update palettes, recurse.
+    // Last bin: update palettes, recurse. Runs strictly after the group
+    // join — exactly the model's schedule, where G_b's palette update sees
+    // every color the parallel phase committed.
     LsInstance last = make_child(inst, bin_local[b - 1]);
     update_palettes(last.orig);
     led.merge_sequential(recurse(last, depth + 1, sub_seed(salt, 999)));
@@ -265,6 +286,15 @@ class LsDriver {
   std::uint64_t salt_;
   LowSpaceResult result_;
   MpcSim mpc_;
+  std::mutex mpc_mu_;
+
+  // Cross-branch accumulators: commutative (add/max), hence deterministic.
+  std::atomic<unsigned> depth_reached_{0};
+  std::atomic<std::uint64_t> num_partitions_{0};
+  std::atomic<std::uint64_t> num_mis_calls_{0};
+  std::atomic<std::uint64_t> total_mis_phases_{0};
+  std::atomic<std::uint64_t> seed_evaluations_{0};
+  std::atomic<std::uint64_t> diverted_violators_{0};
 };
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "exec/exec.hpp"
 #include "graph/coloring.hpp"
 #include "graph/graph.hpp"
 #include "graph/palette.hpp"
@@ -38,6 +39,11 @@ struct LowSpaceParams {
   /// (the paper sets delta = eps/22, i.e. s = n^eps).
   std::uint64_t local_space_floor = 1 << 14;
   double space_coeff = 8.0;
+  /// Host execution context: sibling color bins recurse as pool tasks, and
+  /// every per-node pass of the seed searches (partition violator counts,
+  /// MIS phase simulations — `mis.exec` is overridden with this value)
+  /// shards over it. Results are bit-identical for any thread count.
+  ExecContext exec;
 };
 
 struct LowSpaceResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hashing/kwise.hpp"
+#include "lowspace/seed_engine.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -20,50 +21,70 @@ struct MisState {
   std::vector<char> active;            // per reduction vertex
   std::vector<Color> color;            // per node, kUncolored until joined
   std::uint64_t remaining_edges = 0;
+  std::uint64_t uncolored = 0;         // tracked incrementally per phase
 
   bool vertex_active(std::uint64_t x) const { return active[x] != 0; }
 };
 
-/// Priority of vertex x under hash h: field value with id tiebreak.
-inline std::pair<std::uint64_t, std::uint64_t> priority(const KWiseHash& h,
-                                                        std::uint64_t x) {
-  return {h.field_eval(x), x};
+/// Priority of vertex x under the loaded phase seed: field value with id
+/// tiebreak.
+inline std::pair<std::uint64_t, std::uint64_t> priority(
+    const MisPhaseEngine& eng, std::uint64_t x) {
+  return {eng.priority(x), x};
 }
 
-/// Simulate one Luby phase under `h` without mutating the state.
-PhaseOutcome simulate_phase(const MisState& st, const KWiseHash& h) {
+/// Simulate one Luby phase under the engine's loaded seed without mutating
+/// the state. Both heavy passes — the per-node join resolution and the
+/// removed-edge count — shard over the engine's ExecContext; the join lists
+/// fold in shard-index order, so the outcome matches the serial node-order
+/// walk bit for bit at any thread count.
+PhaseOutcome simulate_phase(const MisState& st, const MisPhaseEngine& eng) {
   const ReductionGraph& r = *st.r;
   PhaseOutcome out;
-  std::vector<char> removed(r.num_vertices, 0);
-  for (NodeId v = 0; v < r.num_nodes(); ++v) {
-    if (st.color[v] != Coloring::kUncolored) continue;
-    // Clique candidate: the active palette position with minimum priority.
-    std::uint64_t best = ~std::uint64_t{0};
-    std::pair<std::uint64_t, std::uint64_t> best_pri{~std::uint64_t{0},
-                                                     ~std::uint64_t{0}};
-    const std::uint64_t lo = r.base[v];
-    const std::uint64_t hi = lo + r.palettes[v].size();
-    for (std::uint64_t x = lo; x < hi; ++x) {
-      if (!st.vertex_active(x)) continue;
-      const auto pri = priority(h, x);
-      if (pri < best_pri) {
-        best_pri = pri;
-        best = x;
-      }
-    }
-    DC_CHECK(best != ~std::uint64_t{0},
-             "uncolored node lost its whole palette — invariant broken");
-    // The candidate joins iff it beats every *active* conflict neighbor.
-    bool wins = true;
-    for (const std::uint64_t y : r.conflicts[best]) {
-      if (st.vertex_active(y) && priority(h, y) < best_pri) {
-        wins = false;
-        break;
-      }
-    }
-    if (wins) out.joined.push_back(best);
-  }
+  out.joined = parallel_reduce_shards(
+      eng.exec(), r.num_nodes(), std::vector<std::uint64_t>{},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<std::uint64_t> joined;
+        for (std::size_t i = begin; i < end; ++i) {
+          const NodeId v = static_cast<NodeId>(i);
+          if (st.color[v] != Coloring::kUncolored) continue;
+          // Clique candidate: the active palette position with minimum
+          // priority.
+          std::uint64_t best = ~std::uint64_t{0};
+          std::pair<std::uint64_t, std::uint64_t> best_pri{~std::uint64_t{0},
+                                                           ~std::uint64_t{0}};
+          const std::uint64_t lo = r.base[v];
+          const std::uint64_t hi = lo + r.palettes[v].size();
+          for (std::uint64_t x = lo; x < hi; ++x) {
+            if (!st.vertex_active(x)) continue;
+            const auto pri = priority(eng, x);
+            if (pri < best_pri) {
+              best_pri = pri;
+              best = x;
+            }
+          }
+          DC_CHECK(best != ~std::uint64_t{0},
+                   "uncolored node lost its whole palette — invariant broken");
+          // The candidate joins iff it beats every *active* conflict
+          // neighbor.
+          bool wins = true;
+          for (const std::uint64_t y : r.conflicts[best]) {
+            if (st.vertex_active(y) && priority(eng, y) < best_pri) {
+              wins = false;
+              break;
+            }
+          }
+          if (wins) joined.push_back(best);
+        }
+        return joined;
+      },
+      [](std::vector<std::uint64_t> acc, std::vector<std::uint64_t> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+
   // Mark removals: the joiner's whole clique plus its conflict neighbors.
+  std::vector<char> removed(r.num_vertices, 0);
   for (const std::uint64_t x : out.joined) {
     const NodeId v = r.node_of(x);
     const std::uint64_t lo = r.base[v];
@@ -75,27 +96,35 @@ PhaseOutcome simulate_phase(const MisState& st, const KWiseHash& h) {
       if (st.vertex_active(y)) removed[y] = 1;
     }
   }
-  // Count conflict edges losing at least one endpoint.
-  for (std::uint64_t x = 0; x < r.num_vertices; ++x) {
-    if (!removed[x]) continue;
-    for (const std::uint64_t y : r.conflicts[x]) {
-      if (!st.vertex_active(y)) continue;
-      if (removed[y] && y < x) continue;  // counted at the smaller id
-      ++out.removed_edges;
-    }
-  }
+  // Count conflict edges losing at least one endpoint (pure reads of the
+  // finished removal marks: an integer shard sum).
+  out.removed_edges = parallel_reduce_shards(
+      eng.exec(), r.num_vertices, std::uint64_t{0},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::uint64_t cnt = 0;
+        for (std::size_t x = begin; x < end; ++x) {
+          if (!removed[x]) continue;
+          for (const std::uint64_t y : r.conflicts[x]) {
+            if (!st.vertex_active(y)) continue;
+            if (removed[y] && y < x) continue;  // counted at the smaller id
+            ++cnt;
+          }
+        }
+        return cnt;
+      },
+      [](std::uint64_t acc, std::uint64_t part) { return acc + part; });
   return out;
 }
 
 /// Apply a simulated phase: color joiners, deactivate removed vertices,
-/// maintain the remaining-edge count.
-void apply_phase(MisState& st, const KWiseHash& h) {
-  const PhaseOutcome out = simulate_phase(st, h);
+/// maintain the remaining-edge and uncolored counts.
+void apply_phase(MisState& st, const PhaseOutcome& out) {
   const ReductionGraph& r = *st.r;
   std::vector<std::uint64_t> to_remove;
   for (const std::uint64_t x : out.joined) {
     const NodeId v = r.node_of(x);
     st.color[v] = r.palettes[v][x - r.base[v]];
+    --st.uncolored;
     const std::uint64_t lo = r.base[v];
     const std::uint64_t hi = lo + r.palettes[v].size();
     for (std::uint64_t y = lo; y < hi; ++y) {
@@ -125,21 +154,17 @@ MisColorResult mis_list_color(
   MisState st{&r,
               std::vector<char>(r.num_vertices, 1),
               std::vector<Color>(g.num_nodes(), Coloring::kUncolored),
-              r.num_conflict_edges};
+              r.num_conflict_edges,
+              g.num_nodes()};
 
   MisColorResult result;
   result.color.assign(g.num_nodes(), Coloring::kUncolored);
 
   const unsigned c = params.independence;
   const unsigned bits = KWiseHash::seed_bits(c);
-  auto uncolored = [&] {
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (st.color[v] == Coloring::kUncolored) return true;
-    }
-    return false;
-  };
+  MisPhaseEngine engine(r.num_vertices, c, params.exec);
 
-  while (uncolored()) {
+  while (st.uncolored > 0) {
     DC_CHECK(result.phases < params.max_phases,
              "MIS failed to converge within ", params.max_phases, " phases");
     const std::uint64_t remaining = st.remaining_edges;
@@ -149,13 +174,26 @@ MisColorResult mis_list_color(
             : static_cast<double>(remaining) -
                   static_cast<double>(ceil_div(remaining,
                                                params.removal_fraction));
+    // One simulation per *distinct* loaded seed: the state is fixed for the
+    // whole phase, so when the selected seed was the last one evaluated (or
+    // a candidate repeats under the enumeration), the cached outcome is
+    // reused instead of re-simulating.
+    PhaseOutcome sim;
+    bool sim_valid = false;
+    const auto simulate = [&]() -> const PhaseOutcome& {
+      if (!sim_valid) {
+        sim = simulate_phase(st, engine);
+        sim_valid = true;
+      }
+      return sim;
+    };
     const auto cost = [&](const SeedBits& s) {
-      const KWiseHash h(s.word_range(0, c), 1);
-      const PhaseOutcome sim = simulate_phase(st, h);
+      if (engine.load(s)) sim_valid = false;
+      const PhaseOutcome& out = simulate();
       // Cost: edges left after the phase; joining progress breaks zero-edge
       // ties so the final conflict-free phases still advance.
-      return static_cast<double>(remaining - sim.removed_edges) -
-             (sim.joined.empty() ? 0.0 : 0.5);
+      return static_cast<double>(remaining - out.removed_edges) -
+             (out.joined.empty() ? 0.0 : 0.5);
     };
     const SeedSelectResult sel =
         select_seed(bits, cost, target, params.seed,
@@ -166,8 +204,8 @@ MisColorResult mis_list_color(
     result.ledger.charge("mis-phase", params.rounds_per_phase,
                          r.num_vertices);
 
-    const KWiseHash h(sel.seed.word_range(0, c), 1);
-    apply_phase(st, h);
+    if (engine.load(sel.seed)) sim_valid = false;
+    apply_phase(st, simulate());
     ++result.phases;
   }
   result.color = st.color;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "derand/strategies.hpp"
+#include "exec/exec.hpp"
 #include "graph/coloring.hpp"
 #include "lowspace/reduction.hpp"
 #include "sim/ledger.hpp"
@@ -31,6 +32,9 @@ struct MisParams {
   /// Model rounds charged per phase on top of the seed-selection schedule
   /// (priority exchange + join resolution + cleanup).
   std::uint64_t rounds_per_phase = 4;
+  /// Host execution context: the phase-seed search shards its simulation
+  /// passes over this pool (results are bit-identical for any thread count).
+  ExecContext exec;
 };
 
 struct MisColorResult {

@@ -1,0 +1,153 @@
+// Batched seed-evaluation engines for the low-space MPC layer (Theorem 1.4).
+//
+// Both seed searches of the layer evaluate a fixed instance under thousands
+// of nearby candidate seeds (the enumeration orders of derand/strategies.hpp
+// mutate one candidate buffer in place), and both paid a naive full pass per
+// candidate before this engine existed:
+//
+//  * LowSpacePartition (Algorithm 4): per candidate, rebuild (h1, h2) and
+//    re-run a Horner polynomial per node and per palette color to count the
+//    Lemma 4.5 violators.
+//  * The derandomized-Luby MIS phase (Section 4.1): per candidate, rebuild h
+//    and re-evaluate the priority polynomial at every reduction vertex on
+//    every access of the phase simulation.
+//
+// LowSpaceSeedEngine and MisPhaseEngine amortize everything that does not
+// depend on the seed, exactly in the style of core/seed_eval.hpp:
+//
+//  * power tables (BatchKWiseEval) over the node ids / distinct palette
+//    colors / reduction-vertex ids, built once per search — a candidate
+//    costs one multiply-add per point per *changed* seed word;
+//  * distinct-color memoization — h2 is evaluated once per distinct color in
+//    the union of palettes; nodes whose palette is the full color universe
+//    read their p'(v) from a per-bin color count in O(1);
+//  * change tracking — an MCE chunk inside the h2 half of the seed leaves h1
+//    untouched, so the d'(v) neighbor pass (the expensive O(m) part) is
+//    skipped wholesale, and vice versa;
+//  * scratch reuse — bins, d'/verdict buffers and color-bin counts live in
+//    the engine and are reused across evaluations.
+//
+// Every per-node pass shards over the engine's ExecContext with static shard
+// boundaries (exec/exec.hpp), so violation counts, verdicts and priorities
+// are bit-identical for any thread count. violations() equals the naive
+// per-candidate recomputation bit for bit; tests/test_lowspace_engine.cpp
+// asserts this and that select_seed picks identical seeds on either backend.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "derand/seedbits.hpp"
+#include "exec/exec.hpp"
+#include "graph/graph.hpp"
+#include "graph/palette.hpp"
+#include "hashing/batch_eval.hpp"
+#include "hashing/kwise.hpp"
+
+namespace detcol {
+
+class LowSpaceSeedEngine {
+ public:
+  /// Precomputes power tables and the distinct-color index for the local
+  /// graph `g` with original ids `orig` and the palettes of the *original*
+  /// graph. All three must outlive the engine and stay unmodified while it
+  /// is in use (the driver holds palettes fixed for the whole seed search).
+  /// Seed layout: `independence` words for h1 (range `num_bins`), then
+  /// `independence` words for h2 (range `num_bins` - 1).
+  LowSpaceSeedEngine(const Graph& g, std::span<const NodeId> orig,
+                     const PaletteSet& palettes, std::uint64_t num_bins,
+                     unsigned independence, double slack_exp,
+                     ExecContext exec = {});
+
+  /// Number of Lemma 4.5 violators under `seed` — bit-identical to
+  /// classifying every node from scratch with the KWiseHash pair built from
+  /// the same words. Buffers are engine-owned and reused.
+  std::uint64_t violations(const SeedBits& seed);
+
+  /// SeedCostFn adapter.
+  double cost(const SeedBits& seed) {
+    return static_cast<double>(violations(seed));
+  }
+
+  /// Per-node h1 bins (1..b) of the last violations() call. Valid until the
+  /// next call.
+  std::span<const std::uint32_t> bins() const { return bin_; }
+
+  /// Per-node Lemma 4.5 verdicts of the last violations() call: non-zero
+  /// means the node keeps its color bin, zero diverts it to G0.
+  std::span<const char> good() const { return good_; }
+
+  std::uint64_t num_bins() const { return b_; }
+  std::size_t num_distinct_colors() const { return colors_.size(); }
+
+ private:
+  const Graph& g_;
+  std::uint64_t b_;
+  unsigned c_;
+
+  std::vector<Color> colors_;  // sorted union of the nodes' palettes
+  BatchKWiseEval h1_;          // points: original node ids, range b
+  BatchKWiseEval h2_;          // points: distinct colors, range b-1
+  // Per node: its degree target d/b and slack (seed-independent doubles of
+  // the Lemma 4.5 test, precomputed so every evaluation runs the identical
+  // float ops); full-universe flag and palette indices as in SeedEvalEngine.
+  std::vector<double> dev_target_;
+  std::vector<double> slack_;
+  std::vector<bool> full_palette_;
+  std::vector<std::uint32_t> pal_idx_;
+  std::vector<std::size_t> pal_off_;
+
+  // Per-evaluation scratch. bin_/dprime_ are only recomputed when an h1
+  // coefficient actually moved, cbin_/colors_in_bin_ when h2 did.
+  std::vector<std::uint32_t> bin_;            // per node: h1 bin 1..b
+  std::vector<std::uint64_t> dprime_;         // per node: same-bin degree
+  std::vector<std::uint32_t> cbin_;           // per distinct color: 1..b-1
+  std::vector<std::uint64_t> colors_in_bin_;  // per color bin: |h2^-1(bin)|
+  std::vector<char> good_;                    // per node verdict
+  std::uint64_t cached_bad_ = 0;
+  bool primed_ = false;  // scratch holds a valid previous evaluation
+  ExecContext exec_;
+};
+
+/// Reference oracle: the Lemma 4.5 violator count computed the naive way —
+/// full h1/h2 evaluation per node and per palette color, d'/p' from scratch
+/// — exactly as the pre-engine driver did. LowSpaceSeedEngine::violations()
+/// must match it bit for bit; tests and benches diff the two backends
+/// against this single implementation so they cannot drift apart.
+/// `bins_out`/`good_out` (optional) receive the per-node bins and verdicts.
+std::uint64_t lowspace_naive_violations(
+    const Graph& g, std::span<const NodeId> orig, const PaletteSet& palettes,
+    std::uint64_t num_bins, double slack_exp, const KWiseHash& h1,
+    const KWiseHash& h2, std::vector<std::uint32_t>* bins_out = nullptr,
+    std::vector<char>* good_out = nullptr);
+
+/// Batched c-wise independent priorities for the derandomized-Luby phase
+/// seeds: the priority polynomial evaluated at every reduction vertex, kept
+/// current under word-diff loads. priority() is bit-identical to
+/// KWiseHash::field_eval on the same seed words.
+class MisPhaseEngine {
+ public:
+  MisPhaseEngine(std::uint64_t num_vertices, unsigned independence,
+                 ExecContext exec = {});
+
+  /// Load the candidate's coefficient words (layout: `independence` words
+  /// from bit 0). Returns true when any priority moved — false means every
+  /// vertex keeps its exact previous priority, so callers can reuse a phase
+  /// simulation computed under the previous load.
+  bool load(const SeedBits& seed);
+
+  /// Field-value priority of reduction vertex x under the loaded seed.
+  std::uint64_t priority(std::uint64_t x) const {
+    return eval_.field_value(x);
+  }
+
+  ExecContext exec() const { return exec_; }
+
+ private:
+  unsigned c_;
+  BatchKWiseEval eval_;
+  ExecContext exec_;
+};
+
+}  // namespace detcol

@@ -96,10 +96,11 @@ Algorithm (color):
                      trial:    randomized iterated color trial baseline.
                      randreduce: ColorReduce with seed search disabled.
 
-Execution (color with --algo=reduce/randreduce, stats):
-  --threads=N        Host threads for ColorReduce (sibling color bins +
-                     seed-evaluation shards). Results are bit-identical for
-                     every N. Default: $DETCOL_THREADS, else 1.
+Execution (color with --algo=reduce/randreduce/lowspace/mis/trial, stats):
+  --threads=N        Host threads (sibling color-bin recursion +
+                     seed-evaluation shards; baselines shard their per-node
+                     passes). Results are bit-identical for every N.
+                     Default: $DETCOL_THREADS, else 1.
 
 Output (gen, color, stats):
   --out=FILE         Write to FILE instead of stdout.
@@ -217,21 +218,21 @@ unsigned resolve_threads(const ArgParser& args) {
   return static_cast<unsigned>(v);
 }
 
-/// Pool + config pair for a ColorReduce run: the pool (when threads > 1)
-/// must outlive the run, so both travel together. unique_ptr because
-/// ThreadPool itself is immovable.
+/// Strictly validated --threads/DETCOL_THREADS resolved into the exec
+/// layer's pool + context pair (exec/exec.hpp owns the lifetime rule).
+ExecHolder make_exec(const ArgParser& args) {
+  return make_exec_holder(resolve_threads(args));
+}
+
 struct ReduceExec {
-  std::unique_ptr<ThreadPool> pool;
+  ExecHolder holder;
   ColorReduceConfig cfg;
 };
 
 ReduceExec make_reduce_exec(const ArgParser& args) {
   ReduceExec out;
-  const unsigned threads = resolve_threads(args);
-  if (threads > 1) {
-    out.pool = std::make_unique<ThreadPool>(threads);
-    out.cfg.exec = ExecContext(*out.pool);
-  }
+  out.holder = make_exec(args);
+  out.cfg.exec = out.holder.exec;
   return out;
 }
 
@@ -598,8 +599,13 @@ int cmd_color(const ArgParser& args) {
   if (args.has("stats") && algo != "reduce" && algo != "randreduce") {
     usage_error("--stats is only supported with --algo=reduce or randreduce");
   }
-  if (args.has("threads") && algo != "reduce" && algo != "randreduce") {
-    usage_error("--threads only applies to --algo=reduce or randreduce");
+  const bool algo_threaded = algo == "reduce" || algo == "randreduce" ||
+                             algo == "lowspace" || algo == "mis" ||
+                             algo == "trial";
+  if (args.has("threads") && !algo_threaded) {
+    usage_error(
+        "--threads only applies to --algo=reduce, randreduce, lowspace, mis "
+        "or trial");
   }
 
   Coloring coloring(g.num_nodes());
@@ -620,19 +626,27 @@ int cmd_color(const ArgParser& args) {
     coloring = std::move(r.coloring);
     rounds = r.ledger.total_rounds();
   } else if (algo == "lowspace") {
-    LowSpaceResult r = low_space_color(g, pal.palettes);
+    const ExecHolder ex = make_exec(args);
+    LowSpaceParams params;
+    params.exec = ex.exec;
+    LowSpaceResult r = low_space_color(g, pal.palettes, params);
     coloring = std::move(r.coloring);
     rounds = r.ledger.total_rounds();
   } else if (algo == "greedy") {
     GreedyResult r = greedy_baseline(g, pal.palettes);
     coloring = std::move(r.coloring);
   } else if (algo == "mis") {
-    MisBaselineResult r = mis_baseline_color(g, pal.palettes);
+    const ExecHolder ex = make_exec(args);
+    MisParams params;
+    params.exec = ex.exec;
+    MisBaselineResult r = mis_baseline_color(g, pal.palettes, params);
     coloring = std::move(r.coloring);
     rounds = r.rounds;
   } else if (algo == "trial") {
+    const ExecHolder ex = make_exec(args);
     RandomTrialResult r =
-        random_trial_color(g, pal.palettes, get_uint_strict(args, "seed", 1));
+        random_trial_color(g, pal.palettes, get_uint_strict(args, "seed", 1),
+                           kRandomTrialMaxRounds, ex.exec);
     coloring = std::move(r.coloring);
     rounds = r.model_rounds;
   } else {

@@ -168,6 +168,29 @@ TEST(CliDriver, ThreadsFlagKeepsOutputBitIdenticalAndIsRecorded) {
             2);
 }
 
+TEST(CliDriver, ThreadsFlagCoversLowSpaceAndBaselines) {
+  // The low-space path (and the exec-aware baselines) honor --threads with
+  // bit-identical output — the same determinism contract as ColorReduce.
+  const fs::path dir = test_dir();
+  const fs::path seq = dir / "seq.colors";
+  const fs::path par = dir / "par.colors";
+  ASSERT_EQ(run_detcol("color --n=400 --p=0.03 --algo=lowspace --quiet "
+                       "--out=" + shq(seq.string())),
+            0);
+  ASSERT_EQ(run_detcol("color --n=400 --p=0.03 --algo=lowspace --quiet "
+                       "--threads=4 --out=" + shq(par.string())),
+            0);
+  EXPECT_EQ(read_file(seq), read_file(par));  // determinism contract
+  ASSERT_EQ(run_detcol("color --n=200 --p=0.04 --algo=mis --quiet "
+                       "--threads=2 --out=" + shq(par.string())),
+            0);
+  EXPECT_EQ(run_detcol("verify --coloring=" + shq(par.string())), 0);
+  ASSERT_EQ(run_detcol("color --n=200 --p=0.04 --seed=5 --algo=trial --quiet "
+                       "--threads=2 --out=" + shq(par.string())),
+            0);
+  EXPECT_EQ(run_detcol("verify --coloring=" + shq(par.string())), 0);
+}
+
 TEST(CliDriver, UnknownCommandAndBadFlagsFailCleanly) {
   EXPECT_EQ(run_detcol("frobnicate 2>/dev/null"), 2);
   EXPECT_EQ(run_detcol("color --gen=nosuch 2>/dev/null"), 2);
