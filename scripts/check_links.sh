@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fails when README.md or docs/*.md contains a relative markdown link whose
+# target file does not exist. External (http/https/mailto) and pure-anchor
+# links are skipped; fragments are stripped before the existence check.
+# Run from the repository root; CI's docs job does.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for file in README.md docs/*.md; do
+  dir=$(dirname "$file")
+  # Inline links: ...](target). Targets never contain ')' in this tree.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $file -> $target (resolved: $dir/$path)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_links: broken relative links found" >&2
+  exit 1
+fi
+echo "check_links: all relative links in README.md and docs/ resolve"

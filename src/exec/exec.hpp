@@ -34,6 +34,11 @@
 
 namespace detcol {
 
+/// One-pointer value type handed down every parallelized call path. Copying
+/// is free and thread-safe; the referenced pool must outlive every context
+/// that points at it (ExecHolder packages that lifetime rule). A
+/// default-constructed context is the sequential special case — same shard
+/// decomposition, no pool — so code never branches on "parallel or not".
 class ExecContext {
  public:
   constexpr ExecContext() = default;  // sequential
@@ -84,7 +89,8 @@ void atomic_fetch_max(std::atomic<T>& a, T v) {
 /// integer pipelines.
 inline constexpr std::size_t kDefaultShardGrain = 2048;
 
-/// Number of static shards for n items: depends only on n and grain.
+/// Number of static shards for n items: depends only on n and grain — the
+/// first clause of the determinism contract. O(1), never throws.
 inline std::size_t shard_count(std::size_t n,
                                std::size_t grain = kDefaultShardGrain) {
   return (n + grain - 1) / grain;

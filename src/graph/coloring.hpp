@@ -32,22 +32,27 @@ struct VerifyResult {
 };
 
 /// Checks that the coloring is complete, proper on `g`, and that every node's
-/// color belongs to its *initial* palette.
+/// color belongs to its *initial* palette. O(n + m + total palette size);
+/// never throws — violations come back as {ok=false, issue}, and the issue
+/// string names the first violation in node order (deterministic).
 VerifyResult verify_coloring(const Graph& g, const PaletteSet& initial_palettes,
                              const Coloring& coloring);
 
 /// Checks properness only (partial colorings allowed: uncolored nodes are
-/// ignored).
+/// ignored). O(n + m); never throws, same deterministic-issue contract.
 VerifyResult verify_proper_partial(const Graph& g, const Coloring& coloring);
 
 /// Greedily colors the nodes in `order` (original ids). For each node, picks
 /// the smallest palette color not used by any already-colored neighbor in
 /// `g`. Returns false (and stops) if some node has no available color.
+/// Deterministic in `order`; O(sum of palette sizes + m log Δ).
 bool greedy_color(const Graph& g, const PaletteSet& palettes,
                   std::span<const NodeId> order, Coloring& coloring);
 
 /// Degree-descending greedy over the whole graph; the classic centralized
 /// baseline. Always succeeds when every palette is larger than the degree.
+/// Ties break by node id, so the ordering — and the coloring — is
+/// deterministic.
 bool greedy_color_all(const Graph& g, const PaletteSet& palettes,
                       Coloring& coloring);
 

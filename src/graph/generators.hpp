@@ -1,7 +1,10 @@
 // Deterministic graph generators for tests, examples and benches.
 //
 // All generators take an explicit seed; identical inputs produce identical
-// graphs on every platform.
+// graphs on every platform (fixed RNG, no platform-dependent floating-point
+// paths in edge selection). Out-of-domain parameters (p outside [0,1],
+// infeasible m, n below a generator's minimum) throw CheckError; none of
+// them returns a silently clamped instance.
 #pragma once
 
 #include <cstdint>
@@ -10,10 +13,10 @@
 
 namespace detcol {
 
-/// Erdős–Rényi G(n, p).
+/// Erdős–Rényi G(n, p). O(n²) Bernoulli draws; requires p in [0, 1].
 Graph gen_gnp(NodeId n, double p, std::uint64_t seed);
 
-/// G(n, m): exactly m distinct uniform edges.
+/// G(n, m): exactly m distinct uniform edges. Requires m <= n(n-1)/2.
 Graph gen_gnm(NodeId n, std::size_t m, std::uint64_t seed);
 
 /// Random d-regular-ish graph via the configuration model with loop/multi-

@@ -45,6 +45,45 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
   return g;
 }
 
+Graph Graph::from_csr(std::vector<std::size_t> offsets,
+                      std::vector<NodeId> adj) {
+  DC_CHECK(!offsets.empty(), "CSR offsets array is empty (need n+1 entries)");
+  const auto n = static_cast<NodeId>(offsets.size() - 1);
+  DC_CHECK(offsets.front() == 0, "CSR offsets must start at 0, got ",
+           offsets.front());
+  DC_CHECK(offsets.back() == adj.size(), "CSR offsets end at ", offsets.back(),
+           " but the adjacency array has ", adj.size(), " entries");
+  for (NodeId v = 0; v < n; ++v) {
+    DC_CHECK(offsets[v] <= offsets[v + 1], "CSR offsets not monotone at node ",
+             v);
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      DC_CHECK(nb[i] < n, "CSR neighbor ", nb[i], " of node ", v,
+               " out of range (n=", n, ")");
+      DC_CHECK(nb[i] != v, "CSR self-loop on node ", v);
+      DC_CHECK(i == 0 || nb[i - 1] < nb[i], "CSR adjacency of node ", v,
+               " not strictly increasing at entry ", i);
+    }
+  }
+  // Symmetry: every directed arc must have its reverse (the undirected
+  // contract every algorithm in the tree assumes).
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      DC_CHECK(g.has_edge(w, v), "CSR adjacency is asymmetric: node ", v,
+               " lists ", w, " but not vice versa");
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  return g;
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const {
   const auto nb = neighbors(u);
   return std::binary_search(nb.begin(), nb.end(), v);

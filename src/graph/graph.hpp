@@ -20,10 +20,21 @@ class Graph {
 
   /// Build from an undirected edge list; edges are deduplicated, order-
   /// normalized and sorted. Self-loops are rejected (DC_CHECK).
+  /// O(m log m) in the edge count; deterministic for a given input list.
   static Graph from_edges(NodeId num_nodes, std::span<const Edge> edges);
   static Graph from_edges(NodeId num_nodes, const std::vector<Edge>& edges) {
     return from_edges(num_nodes, std::span<const Edge>(edges));
   }
+
+  /// Adopt prebuilt CSR arrays directly (the `.dcg` binary-format fast path:
+  /// no edge-list rebuild or re-sort). `offsets` has n+1 monotone entries
+  /// with offsets[0] == 0 and offsets[n] == adj.size(); every adjacency list
+  /// must be strictly increasing (sorted, no duplicates, no self-loop) and
+  /// symmetric (u in adj(v) iff v in adj(u)). All of this is DC_CHECKed —
+  /// O(n + m log Δ) validation — so a malformed file cannot produce a graph
+  /// that violates the class invariants.
+  static Graph from_csr(std::vector<std::size_t> offsets,
+                        std::vector<NodeId> adj);
 
   NodeId num_nodes() const {
     return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
@@ -31,6 +42,8 @@ class Graph {
   /// Number of undirected edges.
   std::size_t num_edges() const { return adj_.size() / 2; }
 
+  /// Sorted (strictly increasing) adjacency of v. O(1); the span stays valid
+  /// for the lifetime of the graph (immutable storage).
   std::span<const NodeId> neighbors(NodeId v) const {
     return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
   }
@@ -43,13 +56,15 @@ class Graph {
   /// degree bound per call and must not pay an O(n) scan each time.
   NodeId max_degree() const { return max_degree_; }
 
+  /// O(log deg(u)) binary search over u's sorted adjacency.
   bool has_edge(NodeId u, NodeId v) const;
 
   /// Words of memory needed to describe the graph (the paper's notion of
   /// instance "size": nodes + directed adjacency entries).
   std::size_t size_words() const { return num_nodes() + adj_.size(); }
 
-  /// Enumerate undirected edges as (u, v) with u < v.
+  /// Enumerate undirected edges as (u, v) with u < v, sorted
+  /// lexicographically. O(n + m); allocates the returned vector.
   std::vector<Edge> edge_list() const;
 
  private:
@@ -60,7 +75,8 @@ class Graph {
 
 /// Induced subgraph on `nodes` (original node ids, need not be sorted).
 /// Local node i corresponds to nodes[i]; returns the local graph. The
-/// original ids are exactly `nodes` (caller keeps the mapping).
+/// original ids are exactly `nodes` (caller keeps the mapping). O(n + m_sub);
+/// duplicate entries in `nodes` are rejected (DC_CHECK).
 Graph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
 
 }  // namespace detcol

@@ -1,21 +1,117 @@
-// Plain-text edge-list I/O (one "u v" pair per line, '#' comments) plus a
-// DIMACS-ish writer, so example inputs/outputs can round-trip through files.
+// Text-ingestion machinery shared by every graph format, plus the native
+// edge-list dialect ("n m" header, one "u v" per line, '#' comments).
+//
+// Parsing is a two-pass sharded scan over an in-memory buffer:
+//
+//   pass 1  index_lines() cuts the buffer into lines. Byte-range shards with
+//           a fixed grain scan for newlines concurrently; the per-shard
+//           newline positions are folded in shard-index order, so the line
+//           index is bit-identical for every thread count.
+//   pass 2  the per-format parser shards over the *lines*, producing one
+//           edge buffer (and one optional error) per shard, again folded in
+//           shard order. The resulting edge sequence — and, when several
+//           lines are malformed, the error that gets reported (the earliest
+//           in file order) — is independent of the thread count.
+//
+// This is the same determinism contract as src/exec/exec.hpp: thread count
+// only decides where a shard runs, never what it produces.
+//
+// See docs/FORMATS.md for the accepted dialects; src/graph/formats.hpp adds
+// DIMACS, METIS and the .dcg binary container on top of this machinery.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "exec/exec.hpp"
 #include "graph/graph.hpp"
 
 namespace detcol {
 
-/// Writes "n m" header then one edge per line.
+/// Half-open byte range [begin, end) of one line in a text buffer; the
+/// terminating '\n' is excluded (a trailing '\r' is not — tokenizers treat
+/// it as whitespace, so CRLF files parse identically to LF files).
+struct LineSpan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Items-per-shard for the byte-level newline scan (pass 1). Deliberately
+/// much coarser than exec.hpp's kDefaultShardGrain: the per-item work is one
+/// byte compare.
+inline constexpr std::size_t kLineScanGrain = 1u << 16;
+
+/// Cut `buf` into lines (deterministic parallel scan, see file comment).
+/// A final line without a trailing newline is included; an empty buffer
+/// yields no lines. O(bytes).
+std::vector<LineSpan> index_lines(std::string_view buf, ExecContext exec = {});
+
+/// Reads a whole file into memory (binary mode, so it doubles as the .dcg
+/// loader's slurp). Throws CheckError when the file cannot be opened/read.
+std::string slurp_file(const std::string& path);
+
+/// Writes "n m" header then one "u v" edge per line (u < v, sorted).
 void write_edge_list(std::ostream& os, const Graph& g);
 void write_edge_list_file(const std::string& path, const Graph& g);
 
-/// Reads the format produced by write_edge_list. Throws CheckError on
-/// malformed input.
+/// Parses the edge-list dialect from an in-memory buffer. Strict: the first
+/// line with any tokens (after '#'-comment stripping) must be the "n m"
+/// header, every subsequent non-blank line exactly two numeric tokens, every
+/// endpoint < n, and the edge-line count must equal m. Throws CheckError
+/// naming `what` and the 1-based line number on violation; self-loops and
+/// duplicate edges are rejected/collapsed by Graph::from_edges. Bit-identical
+/// result and error for every thread count of `exec`.
+Graph parse_edge_list(std::string_view buf, ExecContext exec = {},
+                      const std::string& what = "<edge list>");
+
+/// Stream/file wrappers over parse_edge_list (the stream variant slurps).
 Graph read_edge_list(std::istream& is);
-Graph read_edge_list_file(const std::string& path);
+Graph read_edge_list_file(const std::string& path, ExecContext exec = {});
+
+namespace io_detail {
+
+/// First-in-file-order error collector for sharded parses: each shard
+/// records at most one (line, message) pair; fold() keeps the smallest line
+/// number, so the reported diagnostic is schedule-independent.
+struct ShardError {
+  bool failed = false;
+  std::size_t line = 0;  // 1-based line number in the source buffer
+  std::string message;
+
+  void set(std::size_t line_no, std::string msg) {
+    if (!failed || line_no < line) {
+      failed = true;
+      line = line_no;
+      message = std::move(msg);
+    }
+  }
+  void fold(const ShardError& other) {
+    if (other.failed) set(other.line, other.message);
+  }
+};
+
+/// Throws CheckError("<what>:<line>: <message>") if any shard failed.
+void throw_if_failed(const std::string& what, const ShardError& err);
+
+/// Folds a vector of per-shard errors into the earliest-in-file one and
+/// throws it (the deterministic-diagnostic contract of the file comment).
+void throw_first_error(const std::string& what,
+                       const std::vector<ShardError>& errs);
+
+/// Concatenates per-shard edge buffers in shard-index order (the
+/// determinism contract: the result never depends on the thread count).
+std::vector<Edge> fold_shards(std::vector<std::vector<Edge>> shard_edges);
+
+/// Splits a line into whitespace-separated tokens (' ', '\t', '\r').
+std::vector<std::string_view> tokenize(std::string_view line);
+
+/// Parses a base-10 unsigned integer token; returns false on any non-digit
+/// or overflow (no exceptions — shard bodies report through ShardError).
+bool parse_u64(std::string_view token, std::uint64_t* out);
+
+}  // namespace io_detail
 
 }  // namespace detcol

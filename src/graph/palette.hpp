@@ -29,12 +29,14 @@ class PaletteSet {
   static PaletteSet delta_plus_one(const Graph& g);
 
   /// (Δ+1)-list coloring: node v gets Δ+1 distinct colors drawn
-  /// deterministically from [0, color_space).
+  /// deterministically from [0, color_space) — identical (graph, space,
+  /// seed) inputs always produce identical lists. Throws CheckError when
+  /// color_space < Δ+1 (the list cannot be filled).
   static PaletteSet random_lists(const Graph& g, Color color_space,
                                  std::uint64_t seed);
 
   /// (deg+1)-list coloring: node v gets deg(v)+1 distinct colors from
-  /// [0, color_space).
+  /// [0, color_space). Same determinism/throw contract as random_lists.
   static PaletteSet deg_plus_one_lists(const Graph& g, Color color_space,
                                        std::uint64_t seed);
 
@@ -45,7 +47,8 @@ class PaletteSet {
   /// Total number of stored colors (the Theta(nΔ) term of Theorem 1.2).
   std::size_t total_size() const;
 
-  /// Keep only the colors for which `keep` returns true.
+  /// Keep only the colors for which `keep` returns true. O(palette size);
+  /// preserves sorted order, so downstream binary searches stay valid.
   void restrict(NodeId v, FunctionRef<bool(Color)> keep);
 
   /// Remove a single color (used-by-neighbor update). Returns true iff the

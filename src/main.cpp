@@ -5,6 +5,8 @@
 //   color   color a graph (generated or read from file) and emit the coloring
 //   verify  check a coloring file against its graph and palettes
 //   stats   run ColorReduce and emit the full JSON stats document
+//   convert read a graph in any supported format, write it in another
+//   suite   run a {graph x pipeline x threads} matrix from a spec file
 //
 // Coloring files are self-describing: the header records the exact generator
 // and palette flags that produced the instance, so `detcol verify` can
@@ -32,6 +34,7 @@
 #include <initializer_list>
 #include <limits>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -45,11 +48,16 @@
 #include "core/stats_export.hpp"
 #include "exec/exec.hpp"
 #include "graph/coloring.hpp"
+#include "graph/formats.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "lowspace/low_space.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+#include <thread>
 
 namespace detcol {
 namespace {
@@ -67,10 +75,14 @@ Commands:
   color   Color a graph and write a self-describing coloring file to --out.
   verify  Check a coloring file; rebuilds graph/palettes from its header.
   stats   Run ColorReduce and emit the full stats JSON to --out.
+  convert Read a graph in any supported format, write it as --to to --out.
+  suite   Run a {graph x pipeline x threads} matrix from --spec, emit JSON.
   help    Show this message.
 
-Graph source (gen, color, stats):
-  --input=FILE       Read an edge list ("n m" header, one "u v" per line).
+Graph source (gen, color, stats, convert):
+  --input=FILE       Read a graph file. The format is sniffed (edge list,
+                     DIMACS "p edge", METIS adjacency, or the .dcg binary
+                     CSR container — see docs/FORMATS.md).
   --gen=KIND         Generator when no --input: gnp (default), gnm, regular,
                      powerlaw, grid, ring, complete, bipartite, geometric,
                      planted, tree.
@@ -96,11 +108,30 @@ Algorithm (color):
                      trial:    randomized iterated color trial baseline.
                      randreduce: ColorReduce with seed search disabled.
 
-Execution (color with --algo=reduce/randreduce/lowspace/mis/trial, stats):
+Execution (color with --algo=reduce/randreduce/lowspace/mis/trial, stats,
+convert):
   --threads=N        Host threads (sibling color-bin recursion +
                      seed-evaluation shards; baselines shard their per-node
-                     passes). Results are bit-identical for every N.
+                     passes; convert shards the text parse). Results are
+                     bit-identical for every N.
                      Default: $DETCOL_THREADS, else 1.
+
+Convert:
+  --from=FMT         Input format override: auto (default), edges, dimacs,
+                     metis, dcg. Only applies with --input.
+  --to=FMT           Output format; defaults to the --out extension
+                     (.edges/.txt, .col/.dimacs, .graph/.metis, .dcg).
+
+Suite:
+  --spec=FILE        Declarative scenario matrix. Directives, one per line
+                     ('#' comments): "graph NAME FLAGS..." (generator or
+                     --input flags, repeatable), "palette FLAGS...",
+                     "pipelines NAME..." (reduce, lowspace, mis, trial,
+                     greedy), "threads N...", "seed S" (trial's algorithm
+                     seed). Runs every {graph x pipeline x threads} cell
+                     (greedy is sequential: one threads=1 cell per graph)
+                     and writes one JSON report with per-cell rounds,
+                     colors and wall time to --out.
 
 Output (gen, color, stats):
   --out=FILE         Write to FILE instead of stdout.
@@ -306,7 +337,9 @@ struct GraphSource {
   std::string spec;  // "--gen=... --n=..." or "--input=path"
 };
 
-GraphSource build_graph(const ArgParser& args, bool allow_algo_seed) {
+GraphSource build_graph(const ArgParser& args, bool allow_algo_seed,
+                        GraphFormat input_format = GraphFormat::kAuto,
+                        ExecContext exec = {}) {
   GraphSource out;
   const auto check_flags = [&](const std::string& kind,
                                std::initializer_list<const char*> used) {
@@ -318,7 +351,7 @@ GraphSource build_graph(const ArgParser& args, bool allow_algo_seed) {
     }
     check_flags("--input", {});
     const std::string path = get_value_flag(args, "input", "");
-    out.graph = read_edge_list_file(path);
+    out.graph = read_graph_file(path, input_format, exec);
     // Record an absolute path: the coloring file may be verified from a
     // different working directory.
     out.spec = "--input=" + std::filesystem::absolute(path).string();
@@ -761,6 +794,300 @@ int cmd_stats(const ArgParser& args) {
   return kExitOk;
 }
 
+int cmd_convert(const ArgParser& args) {
+  reject_unknown_flags(args, combine(kGraphFlags,
+                                     {"from", "to", "out", "quiet",
+                                      "threads"}));
+  reject_positionals(args);
+  const ExecHolder ex = make_exec(args);
+
+  GraphFormat from = GraphFormat::kAuto;
+  if (args.has("from")) {
+    if (!args.has("input")) usage_error("--from only applies with --input");
+    const std::string name = get_value_flag(args, "from", "auto");
+    if (!parse_format_name(name, &from)) {
+      usage_error("unknown --from format '" + name +
+                  "' (auto, edges, dimacs, metis, dcg)");
+    }
+  }
+  const GraphSource src =
+      build_graph(args, /*allow_algo_seed=*/false, from, ex.exec);
+
+  const std::string out = get_value_flag(args, "out", "");
+  if (out.empty() || out == "-") {
+    usage_error("convert needs --out=FILE (binary formats cannot go to a "
+                "terminal)");
+  }
+  GraphFormat to = GraphFormat::kAuto;
+  if (args.has("to")) {
+    const std::string name = get_value_flag(args, "to", "auto");
+    if (!parse_format_name(name, &to)) {
+      usage_error("unknown --to format '" + name +
+                  "' (edges, dimacs, metis, dcg)");
+    }
+  }
+  if (to == GraphFormat::kAuto) to = format_from_extension(out);
+  if (to == GraphFormat::kAuto) {
+    usage_error("cannot infer --to from the extension of '" + out +
+                "'; pass --to=edges|dimacs|metis|dcg");
+  }
+  write_graph_file(out, src.graph, to);
+  if (!get_bool_strict(args, "quiet")) {
+    std::fprintf(stderr, "converted %s (n=%u, m=%zu, Delta=%u) to %s: %s\n",
+                 src.spec.c_str(), src.graph.num_nodes(),
+                 src.graph.num_edges(), src.graph.max_degree(),
+                 format_name(to), out.c_str());
+  }
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// The suite runner: a declarative {graph x pipeline x threads} matrix.
+// ---------------------------------------------------------------------------
+
+/// Parsed suite spec. Spec problems are data errors (CheckError, exit 1) —
+/// the spec is an input file, not the command line.
+struct SuiteSpec {
+  struct GraphDecl {
+    std::string name;
+    std::string flags;  // "--gen=... --n=..." or "--input=path"
+  };
+  std::vector<GraphDecl> graphs;
+  std::string palette_flags;          // empty -> delta1
+  std::vector<std::string> pipelines;  // canonical algo names
+  std::vector<unsigned> threads{1};
+  std::uint64_t algo_seed = 1;  // trial's RNG seed
+};
+
+SuiteSpec parse_suite_spec(const std::string& text, const std::string& what) {
+  SuiteSpec spec;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+    std::vector<std::string> rest;
+    for (std::string tok; ls >> tok;) rest.push_back(tok);
+    const auto join = [](const std::vector<std::string>& tokens,
+                         std::size_t from) {
+      std::string out;
+      for (std::size_t i = from; i < tokens.size(); ++i) {
+        if (!out.empty()) out += ' ';
+        out += tokens[i];
+      }
+      return out;
+    };
+    if (directive == "graph") {
+      DC_CHECK(rest.size() >= 2, what, ":", line_no,
+               ": 'graph' needs a name and flags (graph NAME --gen=... | "
+               "--input=FILE)");
+      for (const auto& g : spec.graphs) {
+        DC_CHECK(g.name != rest[0], what, ":", line_no,
+                 ": duplicate graph name '", rest[0], "'");
+      }
+      spec.graphs.push_back({rest[0], join(rest, 1)});
+    } else if (directive == "palette") {
+      DC_CHECK(!rest.empty(), what, ":", line_no, ": 'palette' needs flags");
+      spec.palette_flags = join(rest, 0);
+    } else if (directive == "pipelines") {
+      DC_CHECK(!rest.empty(), what, ":", line_no,
+               ": 'pipelines' needs at least one name");
+      for (std::string name : rest) {
+        if (name == "colorreduce") name = "reduce";
+        DC_CHECK(name == "reduce" || name == "lowspace" || name == "mis" ||
+                     name == "trial" || name == "greedy",
+                 what, ":", line_no, ": unknown pipeline '", name,
+                 "' (reduce, lowspace, mis, trial, greedy)");
+        spec.pipelines.push_back(name);
+      }
+    } else if (directive == "threads") {
+      DC_CHECK(!rest.empty(), what, ":", line_no,
+               ": 'threads' needs at least one count");
+      spec.threads.clear();
+      for (const auto& tok : rest) {
+        std::uint64_t t = 0;
+        DC_CHECK(io_detail::parse_u64(tok, &t) && t >= 1 && t <= kMaxThreads,
+                 what, ":", line_no, ": thread count must be in [1, ",
+                 kMaxThreads, "], got '", tok, "'");
+        spec.threads.push_back(static_cast<unsigned>(t));
+      }
+    } else if (directive == "seed") {
+      DC_CHECK(rest.size() == 1 && io_detail::parse_u64(rest[0],
+                                                        &spec.algo_seed),
+               what, ":", line_no, ": 'seed' needs one unsigned integer");
+    } else {
+      DC_CHECK(false, what, ":", line_no, ": unknown directive '", directive,
+               "' (graph, palette, pipelines, threads, seed)");
+    }
+  }
+  DC_CHECK(!spec.graphs.empty(), what, ": spec declares no 'graph' lines");
+  DC_CHECK(!spec.pipelines.empty(), what,
+           ": spec declares no 'pipelines' line");
+  return spec;
+}
+
+struct SuiteCell {
+  std::uint64_t rounds = 0;
+  std::size_t colors = 0;
+  double wall_seconds = 0;
+  bool verified = false;
+  std::string issue;
+};
+
+SuiteCell run_suite_cell(const Graph& g, const PaletteSet& palettes,
+                         const std::string& pipeline, ExecContext exec,
+                         std::uint64_t seed) {
+  SuiteCell cell;
+  Coloring coloring(g.num_nodes());
+  WallTimer timer;
+  if (pipeline == "reduce") {
+    ColorReduceConfig cfg;
+    cfg.exec = exec;
+    ColorReduceResult r = color_reduce(g, palettes, cfg);
+    cell.rounds = r.ledger.total_rounds();
+    coloring = std::move(r.coloring);
+  } else if (pipeline == "lowspace") {
+    LowSpaceParams params;
+    params.exec = exec;
+    LowSpaceResult r = low_space_color(g, palettes, params);
+    cell.rounds = r.ledger.total_rounds();
+    coloring = std::move(r.coloring);
+  } else if (pipeline == "mis") {
+    MisParams params;
+    params.exec = exec;
+    MisBaselineResult r = mis_baseline_color(g, palettes, params);
+    cell.rounds = r.rounds;
+    coloring = std::move(r.coloring);
+  } else if (pipeline == "trial") {
+    RandomTrialResult r = random_trial_color(g, palettes, seed,
+                                             kRandomTrialMaxRounds, exec);
+    cell.rounds = r.model_rounds;
+    coloring = std::move(r.coloring);
+  } else {  // greedy
+    GreedyResult r = greedy_baseline(g, palettes);
+    coloring = std::move(r.coloring);
+  }
+  cell.wall_seconds = timer.seconds();
+  const VerifyResult v = verify_coloring(g, palettes, coloring);
+  cell.verified = v.ok;
+  cell.issue = v.issue;
+  cell.colors = count_distinct_colors(coloring);
+  return cell;
+}
+
+int cmd_suite(const ArgParser& args) {
+  reject_unknown_flags(args, combine({"spec", "out", "quiet"}));
+  reject_positionals(args);
+  const std::string spec_path = get_value_flag(args, "spec", "");
+  if (spec_path.empty()) usage_error("suite needs --spec=FILE");
+  const bool quiet = get_bool_strict(args, "quiet");
+  const SuiteSpec spec = parse_suite_spec(slurp_file(spec_path), spec_path);
+
+  // One pool per distinct thread count, built up front; cells reuse them.
+  std::map<unsigned, ExecHolder> holders;
+  for (const unsigned t : spec.threads) {
+    if (!holders.count(t)) holders.emplace(t, make_exec_holder(t));
+  }
+  if (!holders.count(1)) holders.emplace(1, make_exec_holder(1));
+  const unsigned max_threads =
+      *std::max_element(spec.threads.begin(), spec.threads.end());
+
+  // Build every graph (and its palettes) once; flag problems inside the spec
+  // are data errors.
+  struct BuiltGraph {
+    SuiteSpec::GraphDecl decl;
+    Graph graph;
+    PaletteSet palettes;
+  };
+  std::vector<BuiltGraph> graphs;
+  graphs.reserve(spec.graphs.size());
+  for (const auto& decl : spec.graphs) {
+    try {
+      BuiltGraph built;
+      built.decl = decl;
+      built.graph = build_graph(parse_spec(decl.flags),
+                                /*allow_algo_seed=*/false, GraphFormat::kAuto,
+                                holders.at(max_threads).exec)
+                        .graph;
+      const std::string pal_flags =
+          spec.palette_flags.empty() ? "--palette=delta1" : spec.palette_flags;
+      built.palettes = build_palettes(parse_spec(pal_flags), built.graph)
+                           .palettes;
+      graphs.push_back(std::move(built));
+    } catch (const UsageError& e) {
+      DC_CHECK(false, spec_path, ": graph '", decl.name, "': ", e.what());
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("detcol_suite").value(1);
+  w.key("spec").value(spec_path);  // as passed: reports should be portable
+  w.key("host_cpus")
+      .value(std::uint64_t{std::thread::hardware_concurrency()});
+  w.key("graphs").begin_array();
+  for (const auto& built : graphs) {
+    w.begin_object();
+    w.key("name").value(built.decl.name);
+    w.key("spec").value(built.decl.flags);
+    w.key("n").value(std::uint64_t{built.graph.num_nodes()});
+    w.key("m").value(std::uint64_t{built.graph.num_edges()});
+    w.key("max_degree").value(std::uint64_t{built.graph.max_degree()});
+    w.end_object();
+  }
+  w.end_array();
+
+  bool all_verified = true;
+  w.key("cells").begin_array();
+  for (const auto& built : graphs) {
+    for (const std::string& pipeline : spec.pipelines) {
+      // greedy is the sequential centralized baseline: collapse its thread
+      // axis to one cell instead of re-running identical work.
+      const std::vector<unsigned> cell_threads =
+          pipeline == "greedy" ? std::vector<unsigned>{1} : spec.threads;
+      for (const unsigned t : cell_threads) {
+        const SuiteCell cell = run_suite_cell(
+            built.graph, built.palettes, pipeline, holders.at(t).exec,
+            spec.algo_seed);
+        all_verified = all_verified && cell.verified;
+        w.begin_object();
+        w.key("graph").value(built.decl.name);
+        w.key("pipeline").value(pipeline);
+        w.key("threads").value(t);
+        w.key("rounds").value(cell.rounds);
+        w.key("colors_used").value(std::uint64_t{cell.colors});
+        w.key("wall_seconds").value(cell.wall_seconds);
+        w.key("verified").value(cell.verified);
+        if (!cell.verified) w.key("issue").value(cell.issue);
+        w.end_object();
+        if (!quiet) {
+          std::fprintf(stderr,
+                       "suite: graph=%s pipeline=%s threads=%u -> "
+                       "%zu colors, %llu rounds, %.3fs%s\n",
+                       built.decl.name.c_str(), pipeline.c_str(), t,
+                       cell.colors,
+                       static_cast<unsigned long long>(cell.rounds),
+                       cell.wall_seconds,
+                       cell.verified ? "" : " [VERIFY FAILED]");
+        }
+      }
+    }
+  }
+  w.end_array();
+  w.end_object();
+  with_output(args, [&](std::ostream& os) { os << w.str() << '\n'; });
+  if (!all_verified) {
+    std::fprintf(stderr, "suite: at least one cell FAILED verification\n");
+    return kExitFailure;
+  }
+  return kExitOk;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) {
     std::fputs(kUsage, stderr);
@@ -775,6 +1102,8 @@ int run(int argc, char** argv) {
     if (command == "color") return cmd_color(args);
     if (command == "verify") return cmd_verify(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "suite") return cmd_suite(args);
     if (command == "help" || command == "--help" || command == "-h") {
       std::fputs(kUsage, stdout);
       return kExitOk;

@@ -259,6 +259,154 @@ TEST(CliDriver, VerifyRejectsCorruptedColorLines) {
             1);
 }
 
+TEST(CliDriver, ConvertRoundTripsEveryGeneratorThroughDcg) {
+  // The ISSUE acceptance flow: for every generator, gen -> edge list,
+  // convert -> .dcg -> edge list, and the two text files are byte-equal.
+  const fs::path dir = test_dir();
+  const std::vector<std::string> gens = {
+      "--gen=gnp --n=120 --p=0.05 --seed=7",
+      "--gen=gnm --n=100 --m=250 --seed=3",
+      "--gen=regular --n=80 --d=6 --seed=5",
+      "--gen=powerlaw --n=90 --beta=2.5 --avgdeg=5 --seed=9",
+      "--gen=grid --rows=7 --cols=9",
+      "--gen=ring --n=31",
+      "--gen=complete --n=13",
+      "--gen=bipartite --a=30 --b=40 --p=0.1 --seed=11",
+      "--gen=geometric --n=90 --radius=0.15 --seed=13",
+      "--gen=planted --n=90 --k=4 --p=0.08 --seed=15",
+      "--gen=tree --n=60 --seed=17",
+  };
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    const fs::path text = dir / ("g" + std::to_string(i) + ".edges");
+    const fs::path dcg = dir / ("g" + std::to_string(i) + ".dcg");
+    const fs::path back = dir / ("g" + std::to_string(i) + ".back.edges");
+    ASSERT_EQ(run_detcol("gen " + gens[i] + " --quiet --out=" +
+                         shq(text.string())),
+              0)
+        << gens[i];
+    ASSERT_EQ(run_detcol("convert --input=" + shq(text.string()) +
+                         " --quiet --out=" + shq(dcg.string())),
+              0)
+        << gens[i];
+    ASSERT_EQ(run_detcol("convert --input=" + shq(dcg.string()) +
+                         " --to=edges --quiet --out=" + shq(back.string())),
+              0)
+        << gens[i];
+    EXPECT_EQ(read_file(text), read_file(back)) << gens[i];
+  }
+}
+
+TEST(CliDriver, ConvertParallelParseMatchesSequential) {
+  const fs::path dir = test_dir();
+  const fs::path text = dir / "g.edges";
+  const fs::path seq = dir / "seq.dcg";
+  const fs::path par = dir / "par.dcg";
+  ASSERT_EQ(run_detcol("gen --gen=gnp --n=1500 --p=0.01 --seed=2 --quiet "
+                       "--out=" + shq(text.string())),
+            0);
+  ASSERT_EQ(run_detcol("convert --input=" + shq(text.string()) +
+                       " --quiet --out=" + shq(seq.string())),
+            0);
+  ASSERT_EQ(run_detcol("convert --input=" + shq(text.string()) +
+                       " --threads=4 --quiet --out=" + shq(par.string())),
+            0);
+  EXPECT_EQ(read_file(seq), read_file(par));  // determinism contract
+}
+
+TEST(CliDriver, ConvertUsageAndDataErrors) {
+  const fs::path dir = test_dir();
+  // Usage errors: missing --out, unknown formats, --from without --input.
+  EXPECT_EQ(run_detcol("convert --n=20 2>/dev/null"), 2);
+  EXPECT_EQ(run_detcol("convert --n=20 --to=nosuch --out=/dev/null "
+                       "2>/dev/null"),
+            2);
+  EXPECT_EQ(run_detcol("convert --n=20 --from=edges --out=x.dcg 2>/dev/null"),
+            2);
+  EXPECT_EQ(run_detcol("convert --n=20 --out=noextension 2>/dev/null"), 2);
+  // Data error: a corrupt .dcg is exit 1, not 2.
+  const fs::path bad = dir / "bad.dcg";
+  std::ofstream os(bad, std::ios::binary);
+  os << "DCG1 but truncated garbage";
+  os.close();
+  EXPECT_EQ(run_detcol("convert --input=" + shq(bad.string()) +
+                       " --to=edges --out=/dev/null 2>/dev/null"),
+            1);
+}
+
+TEST(CliDriver, SuiteRunsMatrixAndWritesReport) {
+  const fs::path dir = test_dir();
+  const fs::path spec = dir / "suite.spec";
+  const fs::path report = dir / "report.json";
+  std::ofstream os(spec);
+  os << "# two graphs x two pipelines x two thread counts\n";
+  os << "graph tiny --gen=gnp --n=150 --p=0.05 --seed=1\n";
+  os << "graph ringy --gen=ring --n=60\n";
+  os << "pipelines reduce greedy\n";
+  os << "threads 1 2\n";
+  os.close();
+  ASSERT_EQ(run_detcol("suite --spec=" + shq(spec.string()) +
+                       " --quiet --out=" + shq(report.string())),
+            0);
+  const std::string doc = read_file(report);
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_NE(doc.find("\"detcol_suite\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"host_cpus\""), std::string::npos);
+  EXPECT_NE(doc.find("\"graph\":\"ringy\""), std::string::npos);
+  // reduce runs at both thread counts, greedy collapses to one cell:
+  // 2 graphs x (2 + 1) cells.
+  std::size_t cells = 0;
+  for (std::size_t at = doc.find("\"pipeline\""); at != std::string::npos;
+       at = doc.find("\"pipeline\"", at + 1)) {
+    ++cells;
+  }
+  EXPECT_EQ(cells, 6u);
+  EXPECT_EQ(doc.find("\"verified\":false"), std::string::npos);
+}
+
+TEST(CliDriver, SuiteSpecErrorsAreDataErrors) {
+  const fs::path dir = test_dir();
+  const fs::path spec = dir / "bad.spec";
+  // Missing --spec is a usage error.
+  EXPECT_EQ(run_detcol("suite 2>/dev/null"), 2);
+  // Unknown directive / pipeline / bad graph flags are data errors (exit 1).
+  std::ofstream os(spec);
+  os << "frobnicate all the things\n";
+  os.close();
+  EXPECT_EQ(run_detcol("suite --spec=" + shq(spec.string()) + " 2>/dev/null"),
+            1);
+  std::ofstream os2(spec);
+  os2 << "graph g --gen=gnp --n=50\npipelines nosuch\n";
+  os2.close();
+  EXPECT_EQ(run_detcol("suite --spec=" + shq(spec.string()) + " 2>/dev/null"),
+            1);
+  std::ofstream os3(spec);
+  os3 << "graph g --gen=nosuch --n=50\npipelines reduce\n";
+  os3.close();
+  EXPECT_EQ(run_detcol("suite --spec=" + shq(spec.string()) + " 2>/dev/null"),
+            1);
+}
+
+TEST(CliDriver, ColorAcceptsDimacsAndMetisInputs) {
+  const fs::path dir = test_dir();
+  const fs::path dimacs = dir / "g.col";
+  const fs::path metis = dir / "g.graph";
+  const fs::path colors = dir / "c.txt";
+  ASSERT_EQ(run_detcol("convert --gen=gnp --n=200 --p=0.04 --seed=9 --quiet "
+                       "--out=" + shq(dimacs.string())),
+            0);
+  ASSERT_EQ(run_detcol("convert --input=" + shq(dimacs.string()) +
+                       " --quiet --out=" + shq(metis.string())),
+            0);
+  for (const fs::path& input : {dimacs, metis}) {
+    ASSERT_EQ(run_detcol("color --input=" + shq(input.string()) +
+                         " --quiet --out=" + shq(colors.string())),
+              0)
+        << input;
+    EXPECT_EQ(run_detcol("verify --coloring=" + shq(colors.string())), 0)
+        << input;
+  }
+}
+
 TEST(CliDriver, GnmDefaultEdgesFeasibleForTinyGraphs) {
   const fs::path dir = test_dir();
   const fs::path graph = dir / "tiny.txt";
