@@ -25,6 +25,7 @@ MisBaselineResult mis_baseline_color(const Graph& g,
   r.rounds = mis.ledger.total_rounds();
   r.words = mis.ledger.total_words();
   r.seed_evaluations = mis.seed_evaluations;
+  r.mpc = std::move(mis.mpc);
   return r;
 }
 

@@ -20,6 +20,9 @@ struct MisBaselineResult {
   std::uint64_t rounds = 0;  // model rounds: per phase O(1) + seed schedule
   std::uint64_t words = 0;   // message words moved
   std::uint64_t seed_evaluations = 0;
+  /// MPC cost block of the underlying MIS run (reduction-graph residency is
+  /// recorded unchecked — the baseline has no space contract).
+  MpcCosts mpc;
   explicit MisBaselineResult(NodeId n) : coloring(n) {}
 };
 

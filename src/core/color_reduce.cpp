@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <utility>
 
@@ -38,29 +37,86 @@ std::uint64_t collect_words(const Instance& inst, const PaletteSet& pal,
       [](std::uint64_t acc, std::uint64_t part) { return acc + part; });
 }
 
+/// Everything one recursion branch accumulates: MPC costs (ledger + peaks +
+/// op counters), recursion telemetry, per-depth wall-clock, and the branch's
+/// implicit-palette registrations. Branches own their RunState privately;
+/// join points merge children into the parent in bin-index order, so the
+/// merged values are independent of the schedule. merge_sequential is
+/// associative with a default-constructed RunState as identity.
+struct RunState {
+  MpcCosts costs;
+  unsigned max_depth = 0;
+  std::uint64_t num_partitions = 0;
+  std::uint64_t total_seed_evaluations = 0;
+  std::vector<double> depth_seconds;  // telemetry only, never bit-compared
+  ImplicitPaletteStore::LocalBatch implicit;
+
+  void add_depth_seconds(unsigned depth, double seconds) {
+    if (depth_seconds.size() <= depth) depth_seconds.resize(depth + 1, 0.0);
+    depth_seconds[depth] += seconds;
+  }
+
+  /// Scalar part shared by both compositions (the ledger is what differs).
+  void fold_scalars(RunState&& child) {
+    max_depth = std::max(max_depth, child.max_depth);
+    num_partitions += child.num_partitions;
+    total_seed_evaluations += child.total_seed_evaluations;
+    if (depth_seconds.size() < child.depth_seconds.size()) {
+      depth_seconds.resize(child.depth_seconds.size(), 0.0);
+    }
+    for (std::size_t d = 0; d < child.depth_seconds.size(); ++d) {
+      depth_seconds[d] += child.depth_seconds[d];
+    }
+    implicit.merge(std::move(child.implicit));
+  }
+
+  /// Child ran after this state's charges (model time): ledgers add.
+  void merge_sequential(RunState&& child) {
+    costs.merge(child.costs);
+    fold_scalars(std::move(child));
+  }
+
+  /// Children ran simultaneously in the model: rounds advance by the
+  /// critical path, everything else folds in bin-index order.
+  void merge_group(std::vector<RunState>&& children) {
+    std::vector<MpcCosts> group;
+    group.reserve(children.size());
+    for (RunState& c : children) group.push_back(std::move(c.costs));
+    costs.merge_parallel(group);
+    for (RunState& c : children) fold_scalars(std::move(c));
+  }
+};
+
 // Concurrency discipline of the driver (the "why this is deterministic"):
 //
 // Sibling color bins G1..G_{b-1} of one Partition call run as pool tasks.
 // Two branches that run concurrently are always members of distinct bins of
 // some common ancestor partition, so
 //   * their node sets are disjoint — every per-node slot (coloring entries,
-//     palettes, implicit chains, CallStats children, group ledger slots) has
-//     exactly one writer;
+//     palettes, implicit chains/removals, CallStats children) has exactly
+//     one writer;
 //   * their palettes are restricted to disjoint h2 color classes *before*
 //     the group is spawned — so a color committed by a concurrent branch is
 //     never present in (and never removable from) a palette this branch
 //     reads, and never collides with a greedy candidate. Whether a cross-
 //     branch read observes such a color therefore cannot change any output.
 // Cross-branch color reads go through relaxed atomics (greedy_color,
-// update_palettes) purely to make them well-defined; driver-wide counters
-// are commutative atomic add/max; everything else merges at the fork/join
-// boundaries in bin-index order. Net effect: colorings, ledgers and stats
-// are bit-identical for every thread count.
+// update_palettes) purely to make them well-defined; everything else lives
+// in the branch-private RunState and merges at the fork/join boundaries in
+// bin-index order (TaskGroup::fold). The driver itself is immutable during
+// the recursion apart from those per-node slots: no mutexes, no atomic
+// counters. Net effect: colorings, ledgers, cost blocks and stats are
+// bit-identical for every thread count.
 class Driver {
  public:
   Driver(const Graph& g, const PaletteSet& palettes,
          const ColorReduceConfig& cfg)
-      : g_(g), pal_(palettes), cfg_(cfg), result_(g.num_nodes()) {}
+      : g_(g),
+        cfg_(cfg),
+        model_(std::max<std::uint64_t>(1, g.num_nodes()), cfg.costs,
+               cfg.route_slack, cfg.collect_slack),
+        pal_(palettes),
+        result_(g.num_nodes()) {}
 
   ColorReduceResult run() {
     WallTimer wall;
@@ -93,16 +149,22 @@ class Driver {
           std::make_unique<ImplicitPaletteStore>(g_.num_nodes(), k);
     }
     TaskScratch scratch;
-    result_.ledger = recurse(root, 0, cfg_.salt, result_.root, scratch);
+    RunState st = recurse(root, 0, cfg_.salt, result_.root, scratch);
 
-    // Fold the concurrent accumulators into the plain result fields.
-    result_.max_depth_reached = max_depth_reached_.load();
-    result_.num_partitions = num_partitions_.load();
-    result_.num_collects = num_collects_.load();
-    result_.peak_collect_words = peak_collect_words_.load();
-    result_.total_seed_evaluations = total_seed_evaluations_.load();
+    // Collect point: the merged run state becomes the result. Hash
+    // registrations install into the store here, in recursion-tree order.
+    if (result_.implicit_store) {
+      result_.implicit_store->apply(std::move(st.implicit));
+    }
+    result_.ledger = st.costs.ledger;
+    result_.max_depth_reached = st.max_depth;
+    result_.num_partitions = st.num_partitions;
+    result_.num_collects = st.costs.num_collects;
+    result_.peak_collect_words = st.costs.peak_local_words;
+    result_.total_seed_evaluations = st.total_seed_evaluations;
+    result_.mpc = std::move(st.costs);
     result_.threads_used = cfg_.exec.num_threads();
-    result_.depth_seconds = std::move(depth_seconds_);
+    result_.depth_seconds = std::move(st.depth_seconds);
     result_.wall_seconds = wall.seconds();
     return std::move(result_);
   }
@@ -115,18 +177,12 @@ class Driver {
     std::vector<NodeId> order;  // collect_and_color ordering buffer
   };
 
-  CliqueSim make_sim() const {
-    return CliqueSim(std::max<std::uint64_t>(1, g_.num_nodes()), cfg_.costs,
-                     cfg_.route_slack, cfg_.collect_slack);
-  }
-
   /// Collect `inst` (already costed at `words` words) onto one machine and
   /// greedily color it, consulting already-colored neighbors in the
   /// original graph.
   void collect_and_color(const Instance& inst, std::uint64_t words,
-                         CliqueSim& sim, TaskScratch& scratch) {
-    sim.collect(words, "collect-color");
-    atomic_fetch_max(peak_collect_words_, sim.peak_collect_words());
+                         RunState& st, TaskScratch& scratch) {
+    model_.collect(words, "collect-color", st.costs);
     // Color highest-degree-first within the instance.
     scratch.order.assign(inst.orig.begin(), inst.orig.end());
     std::sort(scratch.order.begin(), scratch.order.end(),
@@ -140,10 +196,9 @@ class Driver {
                  "invariant was broken upstream");
     // Announce the new colors to all neighbors (one word per node).
     if (inst.n() > 0) {
-      sim.lenzen_route(inst.n(), 1 + inst.graph.max_degree(),
-                       "color-announce");
+      model_.lenzen_route(inst.n(), 1 + inst.graph.max_degree(),
+                          "color-announce", st.costs);
     }
-    num_collects_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Remove colors of already-colored original-graph neighbors from the
@@ -151,8 +206,9 @@ class Driver {
   /// routed message count is the number of removals that actually changed a
   /// palette: that count is schedule-independent (see the class comment —
   /// a concurrently-committed color is never present), so the ledger words
-  /// are identical for every thread count.
-  void update_palettes(std::span<const NodeId> nodes, CliqueSim& sim) {
+  /// are identical for every thread count. Implicit-store removals write
+  /// per-node lists owned by this branch, so they go straight to the store.
+  void update_palettes(std::span<const NodeId> nodes, RunState& st) {
     std::uint64_t touched = 0;
     for (const NodeId v : nodes) {
       for (const NodeId u : g_.neighbors(v)) {
@@ -168,8 +224,8 @@ class Driver {
       }
     }
     if (!nodes.empty()) {
-      sim.lenzen_route(std::max<std::uint64_t>(1, touched),
-                       1 + g_.max_degree(), "palette-update");
+      model_.lenzen_route(std::max<std::uint64_t>(1, touched),
+                          1 + g_.max_degree(), "palette-update", st.costs);
     }
   }
 
@@ -184,26 +240,19 @@ class Driver {
     return child;
   }
 
-  void add_depth_seconds(unsigned depth, double seconds) {
-    const std::lock_guard<std::mutex> lk(timing_mu_);
-    if (depth_seconds_.size() <= depth) depth_seconds_.resize(depth + 1, 0.0);
-    depth_seconds_[depth] += seconds;
-  }
-
-  RoundLedger recurse(const Instance& inst, unsigned depth,
-                      std::uint64_t salt, CallStats& stats,
-                      TaskScratch& scratch) {
+  RunState recurse(const Instance& inst, unsigned depth, std::uint64_t salt,
+                   CallStats& stats, TaskScratch& scratch) {
     WallTimer timer;
     double own_seconds = 0.0;
-    atomic_fetch_max(max_depth_reached_, depth);
+    RunState st;
+    st.max_depth = depth;
     stats.depth = depth;
     stats.n = inst.n();
     stats.m = inst.graph.num_edges();
     stats.max_deg = inst.n() > 0 ? inst.graph.max_degree() : 0;
     stats.ell = inst.ell;
 
-    CliqueSim sim = make_sim();
-    if (inst.n() == 0) return sim.ledger();
+    if (inst.n() == 0) return st;
 
     const auto& p = cfg_.part;
     const double collect_limit =
@@ -218,17 +267,16 @@ class Driver {
                      << inst.n() << ", ell=" << inst.ell << ")";
       }
       stats.collected = true;
-      collect_and_color(inst, inst_words, sim, scratch);
-      add_depth_seconds(depth, timer.seconds());
-      return sim.ledger();
+      collect_and_color(inst, inst_words, st, scratch);
+      st.add_depth_seconds(depth, timer.seconds());
+      return st;
     }
 
     // --- Partition (Algorithm 2) with derandomized seeds (Lemma 3.9). ---
-    PartitionResult pr =
-        partition(inst, pal_, g_.num_nodes(), p, &sim, salt, cfg_.exec);
-    num_partitions_.fetch_add(1, std::memory_order_relaxed);
-    total_seed_evaluations_.fetch_add(pr.seed.evaluations,
-                                      std::memory_order_relaxed);
+    PartitionResult pr = partition(inst, pal_, g_.num_nodes(), p, &model_,
+                                   &st.costs, salt, cfg_.exec);
+    st.num_partitions += 1;
+    st.total_seed_evaluations += pr.seed.evaluations;
     stats.num_bins = pr.num_bins;
     stats.bad_nodes = pr.cls.num_bad_nodes;
     stats.bad_bins = pr.cls.num_bad_bins;
@@ -252,47 +300,48 @@ class Driver {
     // Restrict palettes of the color bins 1..b-1 to their h2 share. This
     // happens *before* the sibling group is spawned: it is what makes the
     // group's palettes pairwise disjoint, and with them every cross-branch
-    // interaction harmless (class comment).
+    // interaction harmless (class comment). The hash and its restrictions
+    // register into this branch's batch — ancestors land before descendants
+    // when the batch finally applies.
     std::uint32_t hash_id = 0;
     if (result_.implicit_store) {
-      hash_id = result_.implicit_store->add_hash(pr.h2);
+      hash_id = st.implicit.add_hash(pr.h2);
     }
     for (std::uint64_t i = 0; i + 1 < b; ++i) {
       for (const NodeId l : bin_local[i]) {
         const NodeId v = inst.orig[l];
         pal_.restrict(v, [&](Color c) { return pr.h2(c) + 1 == i + 1; });
         if (result_.implicit_store) {
-          result_.implicit_store->push_restriction(
-              v, hash_id, static_cast<std::uint32_t>(i + 1));
+          st.implicit.push_restriction(v, hash_id,
+                                       static_cast<std::uint32_t>(i + 1));
         }
       }
     }
 
     // Recurse on the color bins in parallel (disjoint palettes): dispatched
     // as pool tasks when an ExecContext is configured, inline otherwise.
-    // Each branch writes its own pre-sized slots; the join merges them in
-    // bin-index order, so both paths produce identical results.
+    // TaskGroup::fold joins the branch states in bin-index order either
+    // way, so both paths produce identical merged results.
     const std::uint64_t groups = b - 1;
-    std::vector<RoundLedger> group(groups);
+    const bool par = cfg_.exec.parallel() && groups > 1;
+    std::vector<RunState> children;
+    children.reserve(groups);
     std::vector<CallStats> child_stats(groups);
     own_seconds += timer.seconds();
-    const auto run_bin = [&](std::uint64_t i, TaskScratch& ts) {
-      Instance child = make_child(inst, bin_local[i], pr.ell_next);
-      group[i] = recurse(child, depth + 1, sub_seed(salt, i + 1),
-                         child_stats[i], ts);
-    };
-    if (cfg_.exec.parallel() && groups > 1) {
-      TaskGroup tg(*cfg_.exec.pool());
-      for (std::uint64_t i = 0; i < groups; ++i) {
-        tg.spawn([&run_bin, i] {
-          TaskScratch ts;
-          run_bin(i, ts);
-        });
-      }
-      tg.wait();
-    } else {
-      for (std::uint64_t i = 0; i < groups; ++i) run_bin(i, scratch);
-    }
+    TaskGroup::fold(
+        par ? cfg_.exec.pool() : nullptr, groups,
+        [&](std::size_t i) -> RunState {
+          Instance child = make_child(inst, bin_local[i], pr.ell_next);
+          if (par) {
+            TaskScratch ts;
+            return recurse(child, depth + 1, sub_seed(salt, i + 1),
+                           child_stats[i], ts);
+          }
+          return recurse(child, depth + 1, sub_seed(salt, i + 1),
+                         child_stats[i], scratch);
+        },
+        [&](std::size_t, RunState&& rs) { children.push_back(std::move(rs)); });
+    st.merge_group(std::move(children));
     timer.reset();
     if (cfg_.record_stats) {
       stats.children.reserve(b);
@@ -304,11 +353,12 @@ class Driver {
     // sees every color the parallel phase committed. update_palettes only
     // touches the palette stores, so last.orig can be passed directly.
     Instance last = make_child(inst, bin_local[b - 1], pr.ell_next);
-    update_palettes(last.orig, sim);
+    update_palettes(last.orig, st);
     own_seconds += timer.seconds();
     CallStats last_stats;
-    RoundLedger last_led =
+    RunState last_st =
         recurse(last, depth + 1, sub_seed(salt, b + 1), last_stats, scratch);
+    st.merge_sequential(std::move(last_st));
     timer.reset();
     if (cfg_.record_stats) stats.children.push_back(std::move(last_stats));
 
@@ -316,31 +366,22 @@ class Driver {
     // neighbors directly, so the palette update is implicit.
     if (!bad_local.empty()) {
       Instance g0 = make_child(inst, bad_local, inst.ell);
-      collect_and_color(g0, collect_words(g0, pal_, cfg_.exec), sim, scratch);
+      collect_and_color(g0, collect_words(g0, pal_, cfg_.exec), st, scratch);
     }
 
-    RoundLedger total = sim.ledger();
-    total.merge_parallel(group);
-    total.merge_sequential(last_led);
     own_seconds += timer.seconds();
-    add_depth_seconds(depth, own_seconds);
-    return total;
+    st.add_depth_seconds(depth, own_seconds);
+    return st;
   }
 
+  // Immutable instance state: shared read-only across every branch.
   const Graph& g_;
+  const ColorReduceConfig cfg_;
+  const CliqueModel model_;
+
+  // Per-node slots with exactly one writer per entry (see class comment).
   PaletteSet pal_;  // mutated during the run (restrictions + updates)
-  ColorReduceConfig cfg_;
   ColorReduceResult result_;
-
-  // Cross-branch accumulators: commutative (add/max), hence deterministic.
-  std::atomic<unsigned> max_depth_reached_{0};
-  std::atomic<std::uint64_t> num_partitions_{0};
-  std::atomic<std::uint64_t> num_collects_{0};
-  std::atomic<std::uint64_t> peak_collect_words_{0};
-  std::atomic<std::uint64_t> total_seed_evaluations_{0};
-
-  std::mutex timing_mu_;
-  std::vector<double> depth_seconds_;  // telemetry only, never bit-compared
 };
 
 }  // namespace

@@ -22,6 +22,12 @@
 // per-node passes over the same pool. Colorings, ledgers and stats trees are
 // bit-identical for every thread count (see README, "Parallel execution and
 // determinism").
+//
+// State ownership follows the two-tier model (docs/ARCHITECTURE.md): the
+// driver holds only immutable instance state (graph, config, a CliqueModel);
+// every recursion branch accumulates its costs, counters and implicit-store
+// registrations in a private run state that merges at the fork/join
+// boundaries in bin-index order. No locks, no atomic counters.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +43,7 @@
 #include "graph/palette.hpp"
 #include "sim/clique_sim.hpp"
 #include "sim/ledger.hpp"
+#include "sim/mpc_costs.hpp"
 
 namespace detcol {
 
@@ -85,8 +92,15 @@ struct ColorReduceResult {
   Coloring coloring;
   RoundLedger ledger;
   CallStats root;
+
+  /// Merged per-branch cost accumulator: the ledger above plus residency
+  /// peaks and operation counters, bit-identical for every thread count.
+  MpcCosts mpc;
+
   unsigned max_depth_reached = 0;
   std::uint64_t num_partitions = 0;
+  /// Legacy views of `mpc` (num_collects / peak_local_words), kept for
+  /// existing callers and golden fingerprints.
   std::uint64_t num_collects = 0;
   std::uint64_t peak_collect_words = 0;
   std::uint64_t total_seed_evaluations = 0;

@@ -1,32 +1,55 @@
 #include "core/implicit_palette.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace detcol {
+
+std::uint32_t ImplicitPaletteStore::LocalBatch::add_hash(const KWiseHash& h2) {
+  hashes_.push_back(h2);
+  return static_cast<std::uint32_t>(hashes_.size() - 1);
+}
+
+void ImplicitPaletteStore::LocalBatch::push_restriction(NodeId v,
+                                                        std::uint32_t hash_id,
+                                                        std::uint32_t bin) {
+  DC_CHECK(hash_id < hashes_.size(), "unknown hash id");
+  restrictions_.push_back({v, hash_id, bin});
+}
+
+void ImplicitPaletteStore::LocalBatch::merge(LocalBatch&& child) {
+  const auto base = static_cast<std::uint32_t>(hashes_.size());
+  hashes_.insert(hashes_.end(),
+                 std::make_move_iterator(child.hashes_.begin()),
+                 std::make_move_iterator(child.hashes_.end()));
+  restrictions_.reserve(restrictions_.size() + child.restrictions_.size());
+  for (const Restriction& r : child.restrictions_) {
+    restrictions_.push_back({r.v, r.hash_id + base, r.bin});
+  }
+  child.hashes_.clear();
+  child.restrictions_.clear();
+}
 
 ImplicitPaletteStore::ImplicitPaletteStore(NodeId num_nodes, Color num_colors)
     : num_colors_(num_colors), chain_(num_nodes), removed_(num_nodes) {
   DC_CHECK(num_colors >= 1, "empty color space");
 }
 
-std::uint32_t ImplicitPaletteStore::add_hash(const KWiseHash& h2) {
-  const std::lock_guard<std::mutex> lk(hashes_mu_);
-  hashes_.push_back(h2);
-  const auto id = static_cast<std::uint32_t>(hashes_.size() - 1);
-  num_hashes_.store(id + 1, std::memory_order_release);
-  return id;
-}
-
-void ImplicitPaletteStore::push_restriction(NodeId v, std::uint32_t hash_id,
-                                            std::uint32_t bin) {
-  // Lock-free id validation: ids are handed out by add_hash and the count
-  // only grows, so comparing against the atomic size never locks the hot
-  // per-node restriction loop against concurrent registrations.
-  DC_CHECK(hash_id < num_hashes_.load(std::memory_order_acquire),
-           "unknown hash id");
-  chain_[v].push_back({hash_id, bin});
+void ImplicitPaletteStore::apply(LocalBatch&& batch) {
+  const auto base = static_cast<std::uint32_t>(hashes_.size());
+  hashes_.insert(hashes_.end(),
+                 std::make_move_iterator(batch.hashes_.begin()),
+                 std::make_move_iterator(batch.hashes_.end()));
+  for (const LocalBatch::Restriction& r : batch.restrictions_) {
+    const std::uint32_t id = r.hash_id + base;
+    DC_CHECK(id < hashes_.size(), "unknown hash id");
+    DC_CHECK(r.v < chain_.size(), "restriction for unknown node");
+    chain_[r.v].push_back({id, r.bin});
+  }
+  batch.hashes_.clear();
+  batch.restrictions_.clear();
 }
 
 void ImplicitPaletteStore::remove_color(NodeId v, Color c) {

@@ -11,11 +11,17 @@
 // ColorReduce can mirror its palette operations into this store
 // (ColorReduceConfig::mirror_implicit) so equivalence and footprint are
 // measured on real runs.
+//
+// Registration follows the two-tier state model (docs/ARCHITECTURE.md,
+// "State ownership & determinism"): each recursion branch registers its
+// hashes and restrictions into a private LocalBatch; join points merge child
+// batches into the parent's in bin-index order, and the driver applies the
+// root batch once at collect time. Hash ids are therefore assigned in
+// recursion-tree order — a schedule-independent numbering — and the store
+// needs no synchronization at all.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -25,24 +31,52 @@ namespace detcol {
 
 class ImplicitPaletteStore {
  public:
+  /// Per-branch registry of hash registrations and palette restrictions.
+  /// One recursion branch owns one batch privately (no locking); merge()
+  /// composes a child batch after the parent's. merge is associative with
+  /// the empty batch as identity, so the fixed bin-order fold at join
+  /// points yields the same ids as the serial schedule.
+  class LocalBatch {
+   public:
+    /// Register a hash (one per Partition call); returns its batch-local id,
+    /// valid for push_restriction() on this batch.
+    std::uint32_t add_hash(const KWiseHash& h2);
+
+    /// Record that node v's palette was restricted to colors c with
+    /// h2(c)+1 == bin (bin is 1-based, matching the classifier).
+    void push_restriction(NodeId v, std::uint32_t hash_id, std::uint32_t bin);
+
+    /// Append `child` after this batch, re-basing the child's hash ids.
+    void merge(LocalBatch&& child);
+
+    bool empty() const { return hashes_.empty() && restrictions_.empty(); }
+
+   private:
+    friend class ImplicitPaletteStore;
+
+    struct Restriction {
+      NodeId v;
+      std::uint32_t hash_id;  // batch-local until apply()
+      std::uint32_t bin;      // 1-based
+    };
+
+    std::vector<KWiseHash> hashes_;
+    std::vector<Restriction> restrictions_;
+  };
+
   /// All nodes start with palette {0, ..., num_colors-1}.
   ImplicitPaletteStore(NodeId num_nodes, Color num_colors);
 
-  /// Register a shared hash function (one per Partition call); returns its
-  /// id. Thread-safe: concurrent ColorReduce bin recursions register their
-  /// hashes under a mutex. Ids then depend on registration order (i.e. the
-  /// schedule), but nothing observable does — every query resolves ids
-  /// through the same table, and space_words() counts hashes, not ids.
-  std::uint32_t add_hash(const KWiseHash& h2);
+  /// Install a finished batch: hashes keep their batch order (re-based onto
+  /// the store's table) and each node's chain receives its restrictions in
+  /// batch order — ancestors before descendants, by construction of the
+  /// merge discipline. Single-threaded; called at the driver's collect
+  /// point, after every branch has joined.
+  void apply(LocalBatch&& batch);
 
-  /// Record that node v's palette was restricted to colors c with
-  /// h2(c)+1 == bin (bin is 1-based, matching the classifier). Safe to call
-  /// concurrently for distinct nodes (each node's chain is owned by the one
-  /// recursion branch that contains the node).
-  void push_restriction(NodeId v, std::uint32_t hash_id, std::uint32_t bin);
-
-  /// Record that color c was used by a neighbor of v. Same per-node
-  /// ownership rule as push_restriction.
+  /// Record that color c was used by a neighbor of v. Safe to call
+  /// concurrently for distinct nodes (each node's removed list is owned by
+  /// the one recursion branch that contains the node).
   void remove_color(NodeId v, Color c);
 
   /// Materialize the current palette of v (O(num_colors) scan).
@@ -64,8 +98,6 @@ class ImplicitPaletteStore {
   };
 
   Color num_colors_;
-  mutable std::mutex hashes_mu_;  // guards hashes_ during concurrent runs
-  std::atomic<std::uint32_t> num_hashes_{0};  // = hashes_.size(), lock-free
   std::vector<KWiseHash> hashes_;
   std::vector<std::vector<Restriction>> chain_;   // per node
   std::vector<std::vector<Color>> removed_;       // per node, sorted

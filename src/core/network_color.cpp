@@ -120,6 +120,7 @@ NetworkColorResult network_color_round(const Graph& g, const PaletteSet& pal,
   const auto mce = distributed_mce(net, bits, chunk_bits, node_cost,
                                    /*samples=*/2, salt, exec);
   result.mce_rounds = mce.network_rounds;
+  result.mpc.merge(mce.mpc);
 
   const KWiseHash h1(mce.seed.word_range(0, c), b);
   const KWiseHash h2(mce.seed.word_range(c, c), b - 1);
@@ -161,7 +162,16 @@ NetworkColorResult network_color_round(const Graph& g, const PaletteSet& pal,
     }
     DC_CHECK(total <= 16ull * n, "collected group of ", total,
              " words exceeds the O(n) machine bound");
+    // Charge the measured deltas of the two phases into the cost block: the
+    // group lands on one coordinator, so the collected words are its peak
+    // residency.
+    const std::uint64_t r0 = net.round();
+    const std::uint64_t w0 = net.total_words_sent();
     route_collect_and_reply(net, members, words, coordinator);
+    result.mpc.ledger.charge("bin-collect", net.round() - r0,
+                             net.total_words_sent() - w0);
+    result.mpc.note_resident(total, total);
+    ++result.mpc.num_collects;
     // Coordinator-local greedy (local computation is free in the model).
     std::vector<NodeId> order(members);
     std::sort(order.begin(), order.end(), [&](NodeId a, NodeId bb) {
@@ -170,7 +180,11 @@ NetworkColorResult network_color_round(const Graph& g, const PaletteSet& pal,
     });
     const bool ok = greedy_color(g, work, order, result.coloring);
     DC_CHECK(ok, "coordinator greedy ran out of colors");
+    const std::uint64_t r1 = net.round();
+    const std::uint64_t w1 = net.total_words_sent();
     announce_colors(net, g, members, result.coloring);
+    result.mpc.ledger.charge("color-announce", net.round() - r1,
+                             net.total_words_sent() - w1);
   };
 
   // --- 2+3. Color bins 1..b-1. In the model these collects proceed in the

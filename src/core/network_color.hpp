@@ -28,6 +28,7 @@
 #include "exec/exec.hpp"
 #include "graph/coloring.hpp"
 #include "graph/palette.hpp"
+#include "sim/mpc_costs.hpp"
 #include "sim/network.hpp"
 
 namespace detcol {
@@ -39,6 +40,11 @@ struct NetworkColorResult {
   std::uint64_t mce_rounds = 0;      // of which: seed agreement
   std::uint64_t words_sent = 0;
   std::uint64_t num_bins = 0;
+
+  /// Cost block assembled from the measured network counters: the seed
+  /// agreement's "mce-agree" charge plus per-group collect/announce phase
+  /// deltas and the peak collected-group residency.
+  MpcCosts mpc;
 
   explicit NetworkColorResult(NodeId n) : coloring(n) {}
 };

@@ -11,8 +11,8 @@ namespace detcol {
 
 PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
                           std::uint64_t n_orig, const PartitionParams& params,
-                          CliqueSim* sim, std::uint64_t salt,
-                          ExecContext exec) {
+                          const CliqueModel* model, MpcCosts* costs,
+                          std::uint64_t salt, ExecContext exec) {
   const std::uint64_t b = num_bins(inst.ell, params);
   DC_CHECK(b >= 2, "partition needs at least 2 bins");
   const unsigned c = params.independence;
@@ -44,21 +44,21 @@ PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
   // Only h2 outlives the call: the driver restricts palettes with it.
   KWiseHash h2(sel.seed.word_range(c, c), b - 1);
 
-  if (sim != nullptr) {
+  if (model != nullptr && costs != nullptr) {
     // The MCE schedule: per chunk, every machine contributes one partial
     // conditional expectation per candidate; aggregated via Lemma 2.1.
     const std::uint64_t chunks =
         ceil_div(total_bits, params.seed.chunk_bits);
     for (std::uint64_t i = 0; i < chunks; ++i) {
-      sim->aggregate(std::uint64_t{1} << params.seed.chunk_bits,
-                     "seed-selection");
+      model->aggregate(std::uint64_t{1} << params.seed.chunk_bits,
+                       "seed-selection", *costs);
     }
-    sim->broadcast(ceil_div(total_bits, 64), "seed-selection");
+    model->broadcast(ceil_div(total_bits, 64), "seed-selection", *costs);
     // Announce bins / reshuffle the instance into per-bin machine groups.
     // Each node moves its own row: 1 + deg(v) words.
-    sim->lenzen_route(inst.size_words(),
-                      std::uint64_t{1} + inst.graph.max_degree(),
-                      "partition-route");
+    model->lenzen_route(inst.size_words(),
+                        std::uint64_t{1} + inst.graph.max_degree(),
+                        "partition-route", *costs);
   }
 
   PartitionResult out{b, std::move(cls), std::move(sel), std::move(h2),

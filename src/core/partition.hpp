@@ -30,14 +30,15 @@ struct PartitionResult {
 };
 
 /// Runs seed selection for Partition(G, ell) on `inst` and returns the
-/// chosen partition. Charges the seed-selection round schedule and the
-/// instance-routing cost to `sim` if non-null. `salt` makes sibling calls
-/// deterministic but distinct. The seed-evaluation engine shards its
-/// per-node passes over `exec`; the chosen seed and classification are
-/// bit-identical for any thread count.
+/// chosen partition. When both `model` and `costs` are non-null, charges the
+/// seed-selection round schedule and the instance-routing cost through the
+/// immutable `model` into the caller-owned `costs` accumulator. `salt` makes
+/// sibling calls deterministic but distinct. The seed-evaluation engine
+/// shards its per-node passes over `exec`; the chosen seed and
+/// classification are bit-identical for any thread count.
 PartitionResult partition(const Instance& inst, const PaletteSet& palettes,
                           std::uint64_t n_orig, const PartitionParams& params,
-                          CliqueSim* sim, std::uint64_t salt,
-                          ExecContext exec = {});
+                          const CliqueModel* model, MpcCosts* costs,
+                          std::uint64_t salt, ExecContext exec = {});
 
 }  // namespace detcol

@@ -46,6 +46,22 @@ void emit_ledger(JsonWriter& w, const RoundLedger& ledger) {
   w.end_object();
 }
 
+void emit_mpc_costs(JsonWriter& w, const MpcCosts& c) {
+  w.begin_object();
+  w.key("peak_local_words").value(c.peak_local_words);
+  w.key("peak_total_words").value(c.peak_total_words);
+  w.key("num_sorts").value(c.num_sorts);
+  w.key("num_prefix_sums").value(c.num_prefix_sums);
+  w.key("num_routes").value(c.num_routes);
+  w.key("num_gathers").value(c.num_gathers);
+  w.key("num_broadcasts").value(c.num_broadcasts);
+  w.key("num_aggregates").value(c.num_aggregates);
+  w.key("num_collects").value(c.num_collects);
+  w.key("ledger");
+  emit_ledger(w, c.ledger);
+  w.end_object();
+}
+
 }  // namespace
 
 std::string call_stats_to_json(const CallStats& stats) {
@@ -57,6 +73,12 @@ std::string call_stats_to_json(const CallStats& stats) {
 std::string ledger_to_json(const RoundLedger& ledger) {
   JsonWriter w;
   emit_ledger(w, ledger);
+  return w.str();
+}
+
+std::string mpc_costs_to_json(const MpcCosts& costs) {
+  JsonWriter w;
+  emit_mpc_costs(w, costs);
   return w.str();
 }
 
@@ -86,10 +108,56 @@ std::string result_to_json(const ColorReduceResult& result) {
   for (const double s : result.depth_seconds) w.value(s);
   w.end_array();
   w.end_object();
+  w.key("mpc");
+  emit_mpc_costs(w, result.mpc);
   w.key("ledger");
   emit_ledger(w, result.ledger);
   w.key("stats");
   emit_call_stats(w, result.root);
+  w.end_object();
+  return w.str();
+}
+
+std::string lowspace_result_to_json(const LowSpaceResult& result,
+                                    double wall_seconds) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("depth_reached").value(result.depth_reached);
+  w.key("num_partitions").value(result.num_partitions);
+  w.key("num_mis_calls").value(result.num_mis_calls);
+  w.key("total_mis_phases").value(result.total_mis_phases);
+  w.key("seed_evaluations").value(result.seed_evaluations);
+  w.key("diverted_violators").value(result.diverted_violators);
+  w.key("peak_local_words").value(result.peak_local_words);
+  w.key("peak_total_words").value(result.peak_total_words);
+  w.key("num_colored")
+      .value(static_cast<std::uint64_t>(result.coloring.num_colored()));
+  w.key("timing").begin_object();
+  w.key("wall_seconds").value(wall_seconds);
+  w.end_object();
+  w.key("mpc");
+  emit_mpc_costs(w, result.mpc);
+  w.key("ledger");
+  emit_ledger(w, result.ledger);
+  w.end_object();
+  return w.str();
+}
+
+std::string mis_result_to_json(const MisBaselineResult& result,
+                               double wall_seconds) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("phases").value(result.phases);
+  w.key("rounds").value(result.rounds);
+  w.key("words").value(result.words);
+  w.key("seed_evaluations").value(result.seed_evaluations);
+  w.key("num_colored")
+      .value(static_cast<std::uint64_t>(result.coloring.num_colored()));
+  w.key("timing").begin_object();
+  w.key("wall_seconds").value(wall_seconds);
+  w.end_object();
+  w.key("mpc");
+  emit_mpc_costs(w, result.mpc);
   w.end_object();
   return w.str();
 }

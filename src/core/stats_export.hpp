@@ -4,8 +4,11 @@
 
 #include <string>
 
+#include "baselines/mis_coloring.hpp"
 #include "core/color_reduce.hpp"
+#include "lowspace/low_space.hpp"
 #include "sim/ledger.hpp"
+#include "sim/mpc_costs.hpp"
 
 namespace detcol {
 
@@ -15,8 +18,22 @@ std::string call_stats_to_json(const CallStats& stats);
 /// Ledger totals and per-phase breakdown.
 std::string ledger_to_json(const RoundLedger& ledger);
 
-/// Everything about a ColorReduce run (summary + ledger + stats tree).
+/// MPC cost block: residency peaks, operation counters and the phase
+/// ledger. Deterministic — bit-comparable across thread counts.
+std::string mpc_costs_to_json(const MpcCosts& costs);
+
+/// Everything about a ColorReduce run (summary + mpc block + ledger + stats
+/// tree).
 std::string result_to_json(const ColorReduceResult& result);
+
+/// Low-space MPC run: counters + mpc block + ledger. Wall-clock lives under
+/// "timing" (the only block that is not bit-comparable across runs).
+std::string lowspace_result_to_json(const LowSpaceResult& result,
+                                    double wall_seconds);
+
+/// MIS-baseline run: counters + mpc block. Same "timing" convention.
+std::string mis_result_to_json(const MisBaselineResult& result,
+                               double wall_seconds);
 
 /// Write a JSON document to a file (throws CheckError on I/O failure).
 void write_json_file(const std::string& path, const std::string& json);

@@ -30,7 +30,7 @@ DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
            "chunk, Section 2.4)");
   DC_CHECK(samples >= 1, "need at least one completion sample");
 
-  DistributedMceResult result{SeedBits(num_bits)};
+  DistributedMceResult result{SeedBits(num_bits), 0, 0, 0.0, {}};
   SeedBits prefix(num_bits);
   SeedBits completion(num_bits);  // reused per (candidate, sample)
   // contrib[v * cand_here + cand]: node v's estimate for a candidate. One
@@ -38,6 +38,7 @@ DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
   // allocate; see core/seed_eval.hpp for the same discipline host-side).
   std::vector<std::uint64_t> contrib;
   const std::uint64_t start_round = net.round();
+  const std::uint64_t start_words = net.total_words_sent();
 
   unsigned fixed = 0;
   while (fixed < num_bits) {
@@ -113,6 +114,8 @@ DistributedMceResult distributed_mce(cc::Network& net, unsigned num_bits,
 
   result.seed = prefix;
   result.network_rounds = net.round() - start_round;
+  result.mpc.ledger.charge("mce-agree", result.network_rounds,
+                           net.total_words_sent() - start_words);
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "derand/seedbits.hpp"
 #include "exec/exec.hpp"
+#include "sim/mpc_costs.hpp"
 #include "sim/network.hpp"
 #include "util/function_ref.hpp"
 
@@ -42,6 +43,9 @@ struct DistributedMceResult {
   std::uint64_t network_rounds = 0;  // exact message rounds consumed
   std::uint64_t chunks = 0;
   double final_estimate = 0.0;
+  /// Cost block: the agreement's measured rounds and message words, charged
+  /// to the "mce-agree" phase (caller merges it into its own accumulator).
+  MpcCosts mpc;
 };
 
 /// Agree on a `num_bits`-bit seed over `net` with chunked MCE. The estimator

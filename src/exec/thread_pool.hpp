@@ -26,7 +26,9 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace detcol {
@@ -77,6 +79,36 @@ class TaskGroup {
 
   void spawn(std::function<void()> fn);
   void wait();
+
+  /// Fork/join with a shard-ordered merge — the join-point primitive of the
+  /// two-tier state model (immutable instance state, per-task run state).
+  /// Runs body(i) -> T for i in [0, count) and calls
+  /// merge(i, std::move(result_i)) on the calling thread in index order.
+  /// With a pool, bodies run as group tasks and every merge happens after
+  /// the join; without one (`pool == nullptr`, the sequential special case)
+  /// each merge directly follows its body. The merge call sequence is
+  /// identical either way, so any merge whose result depends only on the
+  /// fold order — ledger composition, counter sums, peak maxes — is
+  /// bit-identical for every thread count. Bodies must not read state the
+  /// merges write.
+  template <typename Body, typename Merge>
+  static void fold(ThreadPool* pool, std::size_t count, Body&& body,
+                   Merge&& merge) {
+    using T = decltype(body(std::size_t{0}));
+    if (pool == nullptr || count <= 1) {
+      for (std::size_t i = 0; i < count; ++i) merge(i, body(i));
+      return;
+    }
+    std::vector<std::optional<T>> slots(count);
+    TaskGroup tg(*pool);
+    for (std::size_t i = 0; i < count; ++i) {
+      tg.spawn([&slots, &body, i] { slots[i].emplace(body(i)); });
+    }
+    tg.wait();
+    for (std::size_t i = 0; i < count; ++i) {
+      merge(i, std::move(*slots[i]));
+    }
+  }
 
  private:
   friend class ThreadPool;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <numeric>
 
 #include "exec/thread_pool.hpp"
@@ -23,6 +22,55 @@ struct LsInstance {
   NodeId n() const { return graph.num_nodes(); }
 };
 
+/// Per-branch run state (two-tier model, docs/ARCHITECTURE.md): everything a
+/// recursion branch accumulates — the round ledger, the MPC cost block and
+/// the recursion counters. Branches own their state privately; join points
+/// merge children in bin-index order, so the merged values are independent
+/// of the schedule. merge_sequential is associative with a default-
+/// constructed state as identity.
+struct LsRunState {
+  RoundLedger ledger;  // the algorithm's round schedule (result_.ledger)
+  MpcCosts mpc;        // MPC primitive costs + residency peaks
+  unsigned depth_reached = 0;
+  std::uint64_t num_partitions = 0;
+  std::uint64_t num_mis_calls = 0;
+  std::uint64_t total_mis_phases = 0;
+  std::uint64_t seed_evaluations = 0;
+  std::uint64_t diverted_violators = 0;
+
+  void fold_scalars(const LsRunState& child) {
+    depth_reached = std::max(depth_reached, child.depth_reached);
+    num_partitions += child.num_partitions;
+    num_mis_calls += child.num_mis_calls;
+    total_mis_phases += child.total_mis_phases;
+    seed_evaluations += child.seed_evaluations;
+    diverted_violators += child.diverted_violators;
+  }
+
+  /// Child ran after this state's charges (model time): ledgers add.
+  void merge_sequential(LsRunState&& child) {
+    ledger.merge_sequential(child.ledger);
+    mpc.merge(child.mpc);
+    fold_scalars(child);
+  }
+
+  /// Children ran simultaneously in the model: rounds advance by the
+  /// critical path, everything else folds in bin-index order.
+  void merge_group(std::vector<LsRunState>&& children) {
+    std::vector<RoundLedger> ledgers;
+    std::vector<MpcCosts> costs;
+    ledgers.reserve(children.size());
+    costs.reserve(children.size());
+    for (LsRunState& c : children) {
+      ledgers.push_back(std::move(c.ledger));
+      costs.push_back(std::move(c.mpc));
+    }
+    ledger.merge_parallel(ledgers);
+    mpc.merge_parallel(costs);
+    for (const LsRunState& c : children) fold_scalars(c);
+  }
+};
+
 // Concurrency discipline (mirrors core/color_reduce.cpp's driver): the
 // sibling color bins G1..G_{b-1} of one LowSpacePartition run as pool tasks.
 // Two branches running concurrently belong to distinct bins of a common
@@ -32,11 +80,11 @@ struct LsInstance {
 // committed by a concurrent branch is never present in (and never removable
 // from) a palette this branch reads, so whether a cross-branch color read
 // observes it cannot change any output. Cross-branch color accesses go
-// through relaxed atomics purely to make them well-defined; driver counters
-// are commutative atomic add/max; the MpcSim (space peaks folded by max,
-// internal ledger unobserved in the result) is mutex-guarded; ledgers merge
-// at the fork/join boundary in bin-index order. Net effect: colorings,
-// ledgers and every counter are bit-identical for any thread count.
+// through relaxed atomics purely to make them well-defined; everything else
+// lives in the branch-private LsRunState (costs charged through the
+// immutable MpcModel) and merges at the fork/join boundaries in bin-index
+// order. No mutexes, no atomic counters. Net effect: colorings, ledgers,
+// cost blocks and every counter are bit-identical for any thread count.
 class LsDriver {
  public:
   LsDriver(const Graph& g, const PaletteSet& palettes,
@@ -46,7 +94,7 @@ class LsDriver {
         p_(params),
         salt_(salt),
         result_(g.num_nodes()),
-        mpc_(local_space(), total_space()) {
+        mpc_model_(local_space(), total_space()) {
     // The MIS sub-searches shard over the driver's pool.
     p_.mis.exec = p_.exec;
   }
@@ -60,16 +108,17 @@ class LsDriver {
     root.orig.resize(g_.num_nodes());
     std::iota(root.orig.begin(), root.orig.end(), NodeId{0});
     root.graph = g_;
-    result_.ledger = recurse(root, 0, salt_);
-    result_.peak_local_words = mpc_.peak_local_words();
-    result_.peak_total_words = mpc_.peak_total_words();
-    // Fold the concurrent accumulators into the plain result fields.
-    result_.depth_reached = depth_reached_.load();
-    result_.num_partitions = num_partitions_.load();
-    result_.num_mis_calls = num_mis_calls_.load();
-    result_.total_mis_phases = total_mis_phases_.load();
-    result_.seed_evaluations = seed_evaluations_.load();
-    result_.diverted_violators = diverted_violators_.load();
+    LsRunState st = recurse(root, 0, salt_);
+    result_.ledger = std::move(st.ledger);
+    result_.peak_local_words = st.mpc.peak_local_words;
+    result_.peak_total_words = st.mpc.peak_total_words;
+    result_.depth_reached = st.depth_reached;
+    result_.num_partitions = st.num_partitions;
+    result_.num_mis_calls = st.num_mis_calls;
+    result_.total_mis_phases = st.total_mis_phases;
+    result_.seed_evaluations = st.seed_evaluations;
+    result_.diverted_violators = st.diverted_violators;
+    result_.mpc = std::move(st.mpc);
     return std::move(result_);
   }
 
@@ -105,7 +154,7 @@ class LsDriver {
   /// count is the number of removals that actually changed a palette — a
   /// schedule-independent quantity (class comment: a concurrently committed
   /// color is never present in this branch's palettes).
-  void update_palettes(std::span<const NodeId> nodes) {
+  void update_palettes(std::span<const NodeId> nodes, LsRunState& st) {
     std::uint64_t touched = 0;
     for (const NodeId v : nodes) {
       for (const NodeId u : g_.neighbors(v)) {
@@ -116,46 +165,43 @@ class LsDriver {
       }
     }
     if (touched > 0) {
-      const std::lock_guard<std::mutex> lk(mpc_mu_);
-      mpc_.route(touched, std::min(touched, mpc_.local_space()),
-                 "palette-update");
+      mpc_model_.route(touched,
+                       std::min(touched, mpc_model_.local_space()),
+                       "palette-update", st.mpc);
     }
   }
 
-  /// Color an all-low-degree instance through the MIS reduction.
-  RoundLedger color_via_mis(const LsInstance& inst, std::uint64_t salt) {
-    if (inst.n() == 0) return {};
+  /// Color an all-low-degree instance through the MIS reduction. The MIS
+  /// call carries the driver's model, so the reduction graph it builds is
+  /// contract-checked and charged into its own cost block exactly once —
+  /// merged here into the branch state.
+  void color_via_mis(const LsInstance& inst, std::uint64_t salt,
+                     LsRunState& st) {
+    if (inst.n() == 0) return;
     std::vector<std::vector<Color>> pals(inst.n());
     for (NodeId v = 0; v < inst.n(); ++v) {
       const auto span = pal_.palette(inst.orig[v]);
       pals[v].assign(span.begin(), span.end());
     }
-    MisColorResult mis = mis_list_color(inst.graph, pals, p_.mis, salt);
+    MisColorResult mis =
+        mis_list_color(inst.graph, pals, p_.mis, salt, &mpc_model_);
     for (NodeId v = 0; v < inst.n(); ++v) {
       DC_CHECK(mis.color[v] != Coloring::kUncolored, "MIS left a node");
       std::atomic_ref<Color>(result_.coloring.color[inst.orig[v]])
           .store(mis.color[v], std::memory_order_relaxed);
     }
-    num_mis_calls_.fetch_add(1, std::memory_order_relaxed);
-    total_mis_phases_.fetch_add(mis.phases, std::memory_order_relaxed);
-    seed_evaluations_.fetch_add(mis.seed_evaluations,
-                                std::memory_order_relaxed);
-    // Space accounting for the reduction graph (Section 4.1's bound).
-    const ReductionGraph red = build_reduction(inst.graph, pals);
-    {
-      const std::lock_guard<std::mutex> lk(mpc_mu_);
-      mpc_.note_resident(std::min<std::uint64_t>(red.size_words(),
-                                                 mpc_.local_space()),
-                         red.size_words());
-    }
-    return mis.ledger;
+    st.num_mis_calls += 1;
+    st.total_mis_phases += mis.phases;
+    st.seed_evaluations += mis.seed_evaluations;
+    st.ledger.merge_sequential(mis.ledger);
+    st.mpc.merge(mis.mpc);
   }
 
-  RoundLedger recurse(const LsInstance& inst, unsigned depth,
-                      std::uint64_t salt) {
-    atomic_fetch_max(depth_reached_, depth);
-    RoundLedger led;
-    if (inst.n() == 0) return led;
+  LsRunState recurse(const LsInstance& inst, unsigned depth,
+                     std::uint64_t salt) {
+    LsRunState st;
+    st.depth_reached = depth;
+    if (inst.n() == 0) return st;
 
     const std::uint64_t low_deg = low_deg_threshold();
     std::vector<NodeId> low_local, high_local;
@@ -168,9 +214,9 @@ class LsDriver {
       if (!high_local.empty()) {
         DC_LOG_WARN << "low-space recursion depth cap hit at depth " << depth;
       }
-      update_palettes(inst.orig);
-      led.merge_sequential(color_via_mis(inst, sub_seed(salt, 7)));
-      return led;
+      update_palettes(inst.orig, st);
+      color_via_mis(inst, sub_seed(salt, 7), st);
+      return st;
     }
 
     // --- LowSpacePartition (Algorithm 4). ---
@@ -187,15 +233,12 @@ class LsDriver {
     const auto cost = [&engine](const SeedBits& s) { return engine.cost(s); };
     const SeedSelectResult sel =
         select_seed(bits, cost, 0.0, p_.seed, sub_seed(salt, 1));
-    seed_evaluations_.fetch_add(sel.evaluations, std::memory_order_relaxed);
-    num_partitions_.fetch_add(1, std::memory_order_relaxed);
+    st.seed_evaluations += sel.evaluations;
+    st.num_partitions += 1;
     // Seed schedule: per chunk one concurrent prefix-sum family (Lemma 2.1).
-    {
-      const std::lock_guard<std::mutex> lk(mpc_mu_);
-      mpc_.prefix_sum(high.n(), "seed-selection",
-                      ceil_div(bits, p_.seed.chunk_bits));
-    }
-    led.charge("seed-selection", sel.rounds_charged, sel.words_charged);
+    mpc_model_.prefix_sum(high.n(), "seed-selection", st.mpc,
+                          ceil_div(bits, p_.seed.chunk_bits));
+    st.ledger.charge("seed-selection", sel.rounds_charged, sel.words_charged);
 
     // One evaluation of the selected seed (usually already cached from the
     // search) yields the violator count, the per-node bins *and* the
@@ -207,7 +250,7 @@ class LsDriver {
     if (bad > 0) {
       DC_LOG_DEBUG << "low-space partition diverts " << bad
                    << " violator(s) to G0";
-      diverted_violators_.fetch_add(bad, std::memory_order_relaxed);
+      st.diverted_violators += bad;
     }
 
     // Assign: violators join the low-degree set G0.
@@ -220,10 +263,7 @@ class LsDriver {
         g0_local.push_back(high_local[v]);
       }
     }
-    {
-      const std::lock_guard<std::mutex> lk(mpc_mu_);
-      mpc_.sort(inst.graph.size_words(), "partition-route");
-    }
+    mpc_model_.sort(inst.graph.size_words(), "partition-route", st.mpc);
 
     // Restrict palettes of color bins. This happens *before* the sibling
     // group is spawned: it is what makes the group's palettes pairwise
@@ -237,38 +277,36 @@ class LsDriver {
     }
 
     // Recurse on color bins in parallel (disjoint palettes): dispatched as
-    // pool tasks when an ExecContext is configured, inline otherwise. Each
-    // branch writes its own pre-sized ledger slot; the join merges them in
-    // bin-index order, so both paths produce identical results.
+    // pool tasks when an ExecContext is configured, inline otherwise.
+    // TaskGroup::fold joins the branch states in bin-index order either
+    // way, so both paths produce identical merged results.
     const std::uint64_t groups = b - 1;
-    std::vector<RoundLedger> group(groups);
-    const auto run_bin = [&](std::uint64_t i) {
-      LsInstance child = make_child(inst, bin_local[i]);
-      group[i] = recurse(child, depth + 1, sub_seed(salt, 100 + i));
-    };
-    if (p_.exec.parallel() && groups > 1) {
-      TaskGroup tg(*p_.exec.pool());
-      for (std::uint64_t i = 0; i < groups; ++i) {
-        tg.spawn([&run_bin, i] { run_bin(i); });
-      }
-      tg.wait();
-    } else {
-      for (std::uint64_t i = 0; i < groups; ++i) run_bin(i);
-    }
-    led.merge_parallel(group);
+    const bool par = p_.exec.parallel() && groups > 1;
+    std::vector<LsRunState> children;
+    children.reserve(groups);
+    TaskGroup::fold(
+        par ? p_.exec.pool() : nullptr, groups,
+        [&](std::size_t i) {
+          LsInstance child = make_child(inst, bin_local[i]);
+          return recurse(child, depth + 1, sub_seed(salt, 100 + i));
+        },
+        [&](std::size_t, LsRunState&& rs) {
+          children.push_back(std::move(rs));
+        });
+    st.merge_group(std::move(children));
 
     // Last bin: update palettes, recurse. Runs strictly after the group
     // join — exactly the model's schedule, where G_b's palette update sees
     // every color the parallel phase committed.
     LsInstance last = make_child(inst, bin_local[b - 1]);
-    update_palettes(last.orig);
-    led.merge_sequential(recurse(last, depth + 1, sub_seed(salt, 999)));
+    update_palettes(last.orig, st);
+    st.merge_sequential(recurse(last, depth + 1, sub_seed(salt, 999)));
 
     // G0: update palettes, color via the MIS reduction.
     LsInstance g0 = make_child(inst, g0_local);
-    update_palettes(g0.orig);
-    led.merge_sequential(color_via_mis(g0, sub_seed(salt, 1234)));
-    return led;
+    update_palettes(g0.orig, st);
+    color_via_mis(g0, sub_seed(salt, 1234), st);
+    return st;
   }
 
   LsInstance make_child(const LsInstance& inst,
@@ -280,21 +318,13 @@ class LsDriver {
     return child;
   }
 
+  // Immutable instance state (after the ctor): shared read-only everywhere.
   const Graph& g_;
-  PaletteSet pal_;
+  PaletteSet pal_;  // per-node rows, one writer each (class comment)
   LowSpaceParams p_;
   std::uint64_t salt_;
-  LowSpaceResult result_;
-  MpcSim mpc_;
-  std::mutex mpc_mu_;
-
-  // Cross-branch accumulators: commutative (add/max), hence deterministic.
-  std::atomic<unsigned> depth_reached_{0};
-  std::atomic<std::uint64_t> num_partitions_{0};
-  std::atomic<std::uint64_t> num_mis_calls_{0};
-  std::atomic<std::uint64_t> total_mis_phases_{0};
-  std::atomic<std::uint64_t> seed_evaluations_{0};
-  std::atomic<std::uint64_t> diverted_violators_{0};
+  LowSpaceResult result_;  // coloring entries: one writer each
+  const MpcModel mpc_model_;
 };
 
 }  // namespace

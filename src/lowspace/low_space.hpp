@@ -18,6 +18,7 @@
 #include "graph/palette.hpp"
 #include "lowspace/mis.hpp"
 #include "sim/ledger.hpp"
+#include "sim/mpc_costs.hpp"
 #include "sim/mpc_sim.hpp"
 
 namespace detcol {
@@ -49,12 +50,19 @@ struct LowSpaceParams {
 struct LowSpaceResult {
   Coloring coloring;
   RoundLedger ledger;
+
+  /// Merged per-branch MPC cost accumulator (sorts, prefix sums, routes,
+  /// residency peaks and their phase ledger), charged through the driver's
+  /// immutable MpcModel. Bit-identical for every thread count.
+  MpcCosts mpc;
+
   unsigned depth_reached = 0;
   std::uint64_t num_partitions = 0;
   std::uint64_t num_mis_calls = 0;
   std::uint64_t total_mis_phases = 0;
   std::uint64_t seed_evaluations = 0;
   std::uint64_t diverted_violators = 0;  // good-by-seed but p'<=d' guards
+  /// Legacy views of mpc.peak_local_words / mpc.peak_total_words.
   std::uint64_t peak_local_words = 0;
   std::uint64_t peak_total_words = 0;
 

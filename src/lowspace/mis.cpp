@@ -145,7 +145,7 @@ void apply_phase(MisState& st, const PhaseOutcome& out) {
 
 MisColorResult mis_list_color(
     const Graph& g, const std::vector<std::vector<Color>>& palettes,
-    const MisParams& params, std::uint64_t salt) {
+    const MisParams& params, std::uint64_t salt, const MpcModel* model) {
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     DC_CHECK(palettes[v].size() > g.degree(v),
              "MIS reduction needs p(v) > d(v) at node ", v);
@@ -203,12 +203,25 @@ MisColorResult mis_list_color(
     result.ledger.charge("mis-seed", sel.rounds_charged, sel.words_charged);
     result.ledger.charge("mis-phase", params.rounds_per_phase,
                          r.num_vertices);
+    result.mpc.ledger.charge("mis-seed", sel.rounds_charged,
+                             sel.words_charged);
+    result.mpc.ledger.charge("mis-phase", params.rounds_per_phase,
+                             r.num_vertices);
 
     if (engine.load(sel.seed)) sim_valid = false;
     apply_phase(st, simulate());
     ++result.phases;
   }
   result.color = st.color;
+  // Residency of the reduction graph (Section 4.1's space bound): checked
+  // against the caller's model when one is supplied, recorded raw otherwise.
+  if (model != nullptr) {
+    model->note_resident(
+        std::min<std::uint64_t>(r.size_words(), model->local_space()),
+        r.size_words(), result.mpc);
+  } else {
+    result.mpc.note_resident(r.size_words(), r.size_words());
+  }
   return result;
 }
 

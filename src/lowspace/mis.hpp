@@ -18,6 +18,8 @@
 #include "graph/coloring.hpp"
 #include "lowspace/reduction.hpp"
 #include "sim/ledger.hpp"
+#include "sim/mpc_costs.hpp"
+#include "sim/mpc_sim.hpp"
 
 namespace detcol {
 
@@ -44,13 +46,22 @@ struct MisColorResult {
   std::uint64_t seed_evaluations = 0;
   std::uint64_t seed_rounds = 0;   // rounds of all per-phase seed schedules
   RoundLedger ledger;              // phase rounds + seed rounds
+
+  /// MPC cost accumulator for this call: mirrors the ledger charges and
+  /// records the reduction graph's residency footprint. When the caller
+  /// passes an MpcModel the peaks are contract-checked against its space
+  /// bounds; otherwise they are recorded unchecked.
+  MpcCosts mpc;
 };
 
 /// Solve list coloring of `g` (local ids, palettes[v] sorted, strictly larger
 /// than deg(v)) via the MIS reduction. Deterministic; `salt` namespaces the
-/// seed enumeration.
+/// seed enumeration. `model`, if non-null, contract-checks the reduction
+/// graph's footprint against its space bounds (the low-space driver passes
+/// its own model; the standalone baseline passes none).
 MisColorResult mis_list_color(const Graph& g,
                               const std::vector<std::vector<Color>>& palettes,
-                              const MisParams& params, std::uint64_t salt);
+                              const MisParams& params, std::uint64_t salt,
+                              const MpcModel* model = nullptr);
 
 }  // namespace detcol

@@ -135,7 +135,9 @@ Suite:
 
 Output (gen, color, stats):
   --out=FILE         Write to FILE instead of stdout.
-  --stats=FILE       (color, reduce/randreduce only) also dump run JSON.
+  --stats=FILE       (color, reduce/randreduce/lowspace/mis) also dump run
+                     JSON; every block except "timing" is bit-identical
+                     across thread counts.
   --quiet            Suppress the run summary on stderr.
 
 Verify:
@@ -629,8 +631,10 @@ int cmd_color(const ArgParser& args) {
   const PaletteSource pal = build_palettes(args, g);
   const std::string& algo = algo_name;
   const bool quiet = get_bool_strict(args, "quiet");
-  if (args.has("stats") && algo != "reduce" && algo != "randreduce") {
-    usage_error("--stats is only supported with --algo=reduce or randreduce");
+  if (args.has("stats") && algo != "reduce" && algo != "randreduce" &&
+      algo != "lowspace" && algo != "mis") {
+    usage_error("--stats is only supported with --algo=reduce, randreduce, "
+                "lowspace or mis");
   }
   const bool algo_threaded = algo == "reduce" || algo == "randreduce" ||
                              algo == "lowspace" || algo == "mis" ||
@@ -662,7 +666,14 @@ int cmd_color(const ArgParser& args) {
     const ExecHolder ex = make_exec(args);
     LowSpaceParams params;
     params.exec = ex.exec;
+    WallTimer wall;
     LowSpaceResult r = low_space_color(g, pal.palettes, params);
+    const std::string stats = get_value_flag(args, "stats", "");
+    if (!stats.empty()) {
+      write_json_file(stats, lowspace_result_to_json(r, wall.seconds()));
+      if (!quiet) std::fprintf(stderr, "wrote stats JSON to %s\n",
+                               stats.c_str());
+    }
     coloring = std::move(r.coloring);
     rounds = r.ledger.total_rounds();
   } else if (algo == "greedy") {
@@ -672,7 +683,14 @@ int cmd_color(const ArgParser& args) {
     const ExecHolder ex = make_exec(args);
     MisParams params;
     params.exec = ex.exec;
+    WallTimer wall;
     MisBaselineResult r = mis_baseline_color(g, pal.palettes, params);
+    const std::string stats = get_value_flag(args, "stats", "");
+    if (!stats.empty()) {
+      write_json_file(stats, mis_result_to_json(r, wall.seconds()));
+      if (!quiet) std::fprintf(stderr, "wrote stats JSON to %s\n",
+                               stats.c_str());
+    }
     coloring = std::move(r.coloring);
     rounds = r.rounds;
   } else if (algo == "trial") {

@@ -7,8 +7,8 @@
 
 namespace detcol {
 
-CliqueSim::CliqueSim(std::uint64_t n, CliqueCosts costs, double route_slack,
-                     double collect_slack)
+CliqueModel::CliqueModel(std::uint64_t n, CliqueCosts costs, double route_slack,
+                         double collect_slack)
     : n_(n),
       costs_(costs),
       route_slack_(route_slack),
@@ -18,47 +18,55 @@ CliqueSim::CliqueSim(std::uint64_t n, CliqueCosts costs, double route_slack,
   DC_CHECK(collect_slack >= 1.0, "collect slack must be >= 1");
 }
 
-std::uint64_t CliqueSim::collect_capacity() const {
+std::uint64_t CliqueModel::collect_capacity() const {
   return static_cast<std::uint64_t>(collect_slack_ * static_cast<double>(n_));
 }
 
-std::uint64_t CliqueSim::route_capacity() const {
+std::uint64_t CliqueModel::route_capacity() const {
   return static_cast<std::uint64_t>(route_slack_ * static_cast<double>(n_));
 }
 
-void CliqueSim::lenzen_route(std::uint64_t total_words,
-                             std::uint64_t max_words_per_node,
-                             const std::string& phase) {
+void CliqueModel::lenzen_route(std::uint64_t total_words,
+                               std::uint64_t max_words_per_node,
+                               const std::string& phase, MpcCosts& acc) const {
   DC_CHECK(max_words_per_node <= route_capacity(),
            "Lenzen routing precondition violated: node moves ",
            max_words_per_node, " words but capacity is ", route_capacity());
-  ledger_.charge(phase, costs_.lenzen_route, total_words);
+  acc.ledger.charge(phase, costs_.lenzen_route, total_words);
+  ++acc.num_routes;
 }
 
-void CliqueSim::broadcast(std::uint64_t words, const std::string& phase) {
+void CliqueModel::broadcast(std::uint64_t words, const std::string& phase,
+                            MpcCosts& acc) const {
   // Payloads up to n words: spread word i to node i, then everyone
   // rebroadcasts — the standard 2-round doubling trick. Larger payloads
   // repeat the pattern.
   const std::uint64_t reps = std::max<std::uint64_t>(1, ceil_div(words, n_));
-  ledger_.charge(phase, costs_.broadcast * reps, words * n_);
+  acc.ledger.charge(phase, costs_.broadcast * reps, words * n_);
+  ++acc.num_broadcasts;
 }
 
-void CliqueSim::aggregate(std::uint64_t candidates, const std::string& phase) {
+void CliqueModel::aggregate(std::uint64_t candidates, const std::string& phase,
+                            MpcCosts& acc) const {
   DC_CHECK(candidates >= 1, "aggregate needs at least one value");
   // Node i is responsible for candidate i; everyone sends its contribution
   // for candidate i to node i (1 round, each node sends <= candidates <= n
   // words), then results are rebroadcast (1 round).
-  const std::uint64_t reps = std::max<std::uint64_t>(1, ceil_div(candidates, n_));
-  ledger_.charge(phase, costs_.aggregate * reps, candidates * n_);
+  const std::uint64_t reps =
+      std::max<std::uint64_t>(1, ceil_div(candidates, n_));
+  acc.ledger.charge(phase, costs_.aggregate * reps, candidates * n_);
+  ++acc.num_aggregates;
 }
 
-void CliqueSim::collect(std::uint64_t words, const std::string& phase) {
+void CliqueModel::collect(std::uint64_t words, const std::string& phase,
+                          MpcCosts& acc) const {
   DC_CHECK(words <= collect_capacity(),
            "collect of ", words, " words exceeds single-machine capacity ",
            collect_capacity(),
            " — the 'size O(n)' precondition of Algorithm 1 is violated");
-  peak_collect_ = std::max(peak_collect_, words);
-  ledger_.charge(phase, costs_.lenzen_route, words);
+  acc.peak_local_words = std::max(acc.peak_local_words, words);
+  acc.ledger.charge(phase, costs_.lenzen_route, words);
+  ++acc.num_collects;
 }
 
 }  // namespace detcol

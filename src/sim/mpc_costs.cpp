@@ -1,0 +1,44 @@
+#include "sim/mpc_costs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace detcol {
+namespace {
+
+/// Everything except the ledger: peaks max, counters add. Shared by both
+/// compositions — only the ledger distinguishes sequential from parallel.
+void fold_scalars(MpcCosts& acc, const MpcCosts& other) {
+  acc.peak_local_words = std::max(acc.peak_local_words, other.peak_local_words);
+  acc.peak_total_words = std::max(acc.peak_total_words, other.peak_total_words);
+  acc.num_sorts += other.num_sorts;
+  acc.num_prefix_sums += other.num_prefix_sums;
+  acc.num_routes += other.num_routes;
+  acc.num_gathers += other.num_gathers;
+  acc.num_broadcasts += other.num_broadcasts;
+  acc.num_aggregates += other.num_aggregates;
+  acc.num_collects += other.num_collects;
+}
+
+}  // namespace
+
+void MpcCosts::merge(const MpcCosts& other) {
+  ledger.merge_sequential(other.ledger);
+  fold_scalars(*this, other);
+}
+
+void MpcCosts::merge_parallel(std::span<const MpcCosts> group) {
+  std::vector<RoundLedger> ledgers;
+  ledgers.reserve(group.size());
+  for (const MpcCosts& g : group) ledgers.push_back(g.ledger);
+  ledger.merge_parallel(ledgers);
+  for (const MpcCosts& g : group) fold_scalars(*this, g);
+}
+
+void MpcCosts::note_resident(std::uint64_t local_words,
+                             std::uint64_t total_words) {
+  peak_local_words = std::max(peak_local_words, local_words);
+  peak_total_words = std::max(peak_total_words, total_words);
+}
+
+}  // namespace detcol

@@ -1,0 +1,53 @@
+// Per-task cost accumulator for the costed CONGESTED CLIQUE / MPC models.
+//
+// State-ownership contract (docs/ARCHITECTURE.md, "State ownership &
+// determinism"): the immutable models (MpcModel, CliqueModel) hold the space
+// parameters and contract checks and are shared read-only by any number of
+// tasks; every pool task owns one MpcCosts privately and charges into it
+// without synchronization. Join points fold the per-task accumulators in a
+// fixed order (bin/shard index), so every counter — rounds, words, peaks,
+// op counts — is bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/ledger.hpp"
+
+namespace detcol {
+
+/// Value-type run-state accumulator: a ledger plus space peaks and op
+/// counters. Default-constructed it is the identity of merge(); merge() is
+/// associative (ledger phases add, peaks max, counters add), so any fixed
+/// fold order over per-task accumulators yields the same result as the
+/// serial schedule.
+struct MpcCosts {
+  RoundLedger ledger;
+  std::uint64_t peak_local_words = 0;  // max words resident on one machine
+  std::uint64_t peak_total_words = 0;  // max words resident across machines
+  std::uint64_t num_sorts = 0;
+  std::uint64_t num_prefix_sums = 0;
+  std::uint64_t num_routes = 0;
+  std::uint64_t num_gathers = 0;
+  std::uint64_t num_broadcasts = 0;
+  std::uint64_t num_aggregates = 0;
+  std::uint64_t num_collects = 0;
+
+  /// Sequential composition: append `other` after this accumulator. Ledger
+  /// rounds and words add per phase, peaks fold by max, op counters add.
+  /// Associative with the default-constructed accumulator as identity.
+  void merge(const MpcCosts& other);
+
+  /// Fork/join composition of a group of accumulators that ran in parallel
+  /// in the model: ledger rounds advance by the critical path (words sum;
+  /// see RoundLedger::merge_parallel), peaks fold by max, counters add.
+  /// The group is folded in index order.
+  void merge_parallel(std::span<const MpcCosts> group);
+
+  /// Fold a data-at-rest footprint into the peaks without a model's space
+  /// contract (standalone baselines that have no MPC space parameters; the
+  /// checked path is MpcModel::note_resident).
+  void note_resident(std::uint64_t local_words, std::uint64_t total_words);
+};
+
+}  // namespace detcol

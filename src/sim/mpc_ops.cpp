@@ -41,7 +41,8 @@ Distribution distribute(const std::vector<std::uint64_t>& items,
   return d;
 }
 
-std::uint64_t sample_sort(Distribution& dist, MpcSim& sim) {
+std::uint64_t sample_sort(Distribution& dist, const MpcModel& model,
+                          MpcCosts& acc) {
   const std::uint64_t p = dist.num_machines();
   if (dist.total_items() == 0) return 0;
   std::uint64_t rounds = 0;
@@ -61,14 +62,14 @@ std::uint64_t sample_sort(Distribution& dist, MpcSim& sim) {
   // Samples fit one machine (p^2 <= local_space required for sample sort).
   DC_CHECK(samples.size() <= dist.local_space,
            "sample set exceeds machine space — too many machines for s");
-  sim.route(samples.size(), samples.size(), "sort-sample");
+  model.route(samples.size(), samples.size(), "sort-sample", acc);
   ++rounds;
   std::sort(samples.begin(), samples.end());
   std::vector<std::uint64_t> splitters;  // p-1 splitters
   for (std::uint64_t k = 1; k < p; ++k) {
     splitters.push_back(samples[(k * samples.size()) / p]);
   }
-  sim.route(splitters.size() * p, splitters.size(), "sort-splitters");
+  model.route(splitters.size() * p, splitters.size(), "sort-splitters", acc);
   ++rounds;
 
   // Bucket exchange: key goes to the bucket of the first splitter >= key.
@@ -91,7 +92,7 @@ std::uint64_t sample_sort(Distribution& dist, MpcSim& sim) {
   DC_CHECK(max_bucket <= dist.local_space,
            "bucket of ", max_bucket, " exceeds machine space ",
            dist.local_space, " — skewed keys beyond sample-sort guarantee");
-  sim.route(moved, max_bucket, "sort-exchange");
+  model.route(moved, max_bucket, "sort-exchange", acc);
   ++rounds;
 
   for (std::uint64_t i = 0; i < p; ++i) {
@@ -102,7 +103,8 @@ std::uint64_t sample_sort(Distribution& dist, MpcSim& sim) {
 }
 
 std::vector<std::uint64_t> machine_prefix_sums(const Distribution& dist,
-                                               MpcSim& sim) {
+                                               const MpcModel& model,
+                                               MpcCosts& acc) {
   const std::uint64_t p = dist.num_machines();
   std::vector<std::uint64_t> subtotal(p, 0);
   for (std::uint64_t i = 0; i < p; ++i) {
@@ -111,12 +113,12 @@ std::vector<std::uint64_t> machine_prefix_sums(const Distribution& dist,
   // Converge-cast subtotals to machine 0 (must fit: p <= local_space),
   // then broadcast exclusive prefixes back.
   DC_CHECK(p <= dist.local_space, "too many machines for one aggregator");
-  sim.route(p, p, "prefix-up");
+  model.route(p, p, "prefix-up", acc);
   std::vector<std::uint64_t> prefix(p, 0);
   for (std::uint64_t i = 1; i < p; ++i) {
     prefix[i] = prefix[i - 1] + subtotal[i - 1];
   }
-  sim.route(p, p, "prefix-down");
+  model.route(p, p, "prefix-down", acc);
   return prefix;
 }
 

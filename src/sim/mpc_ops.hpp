@@ -1,7 +1,7 @@
 // Item-level MPC primitives: the Lemma 2.1 toolbox (Goodrich et al. [11])
 // actually executed over simulated machines with hard space limits.
 //
-// The costed MpcSim charges contract costs; this module *runs* the
+// The costed MpcModel charges contract costs; this module *runs* the
 // primitives: items physically live in per-machine memories, every
 // redistribution respects the s-word space bound, and the round counts are
 // those of the classical algorithms (sample sort: O(1) rounds; prefix sums:
@@ -36,15 +36,17 @@ Distribution distribute(const std::vector<std::uint64_t>& items,
 /// Deterministic sample sort: local sort, regular sampling of splitters,
 /// splitter broadcast, bucket exchange, local sort. After the call the
 /// distribution is globally sorted (machine i holds keys <= machine i+1's).
-/// Charges O(1) rounds to `sim` and enforces the space bound on every
-/// machine throughout. Returns rounds used.
-std::uint64_t sample_sort(Distribution& dist, MpcSim& sim);
+/// Charges O(1) rounds through `model` into the caller-owned `acc` and
+/// enforces the space bound on every machine throughout. Returns rounds used.
+std::uint64_t sample_sort(Distribution& dist, const MpcModel& model,
+                          MpcCosts& acc);
 
 /// Prefix sums: machine i learns sum of all values held by machines < i
 /// (returned per machine); constant rounds via converge-cast/broadcast of
 /// per-machine subtotals.
 std::vector<std::uint64_t> machine_prefix_sums(const Distribution& dist,
-                                               MpcSim& sim);
+                                               const MpcModel& model,
+                                               MpcCosts& acc);
 
 }  // namespace mpc
 }  // namespace detcol

@@ -6,53 +6,58 @@
 
 namespace detcol {
 
-MpcSim::MpcSim(std::uint64_t local_space, std::uint64_t total_space,
-               MpcCosts costs)
+MpcModel::MpcModel(std::uint64_t local_space, std::uint64_t total_space,
+                   MpcOpCosts costs)
     : local_space_(local_space), total_space_(total_space), costs_(costs) {
   DC_CHECK(local_space >= 1, "machine needs space");
   DC_CHECK(total_space >= local_space, "total space below local space");
 }
 
-void MpcSim::sort(std::uint64_t items, const std::string& phase) {
+void MpcModel::sort(std::uint64_t items, const std::string& phase,
+                    MpcCosts& acc) const {
   DC_CHECK(items <= total_space_, "sort input of ", items,
            " words exceeds total space ", total_space_);
-  ledger_.charge(phase, costs_.sort, items);
+  acc.ledger.charge(phase, costs_.sort, items);
+  ++acc.num_sorts;
 }
 
-void MpcSim::prefix_sum(std::uint64_t items, const std::string& phase,
-                        std::uint64_t concurrent) {
+void MpcModel::prefix_sum(std::uint64_t items, const std::string& phase,
+                          MpcCosts& acc, std::uint64_t concurrent) const {
   const std::uint64_t volume = items * std::max<std::uint64_t>(1, concurrent);
   DC_CHECK(volume <= total_space_, "prefix-sum volume ", volume,
            " exceeds total space ", total_space_);
-  ledger_.charge(phase, costs_.prefix_sum, volume);
+  acc.ledger.charge(phase, costs_.prefix_sum, volume);
+  ++acc.num_prefix_sums;
 }
 
-void MpcSim::route(std::uint64_t total_words,
-                   std::uint64_t max_words_per_machine,
-                   const std::string& phase) {
+void MpcModel::route(std::uint64_t total_words,
+                     std::uint64_t max_words_per_machine,
+                     const std::string& phase, MpcCosts& acc) const {
   DC_CHECK(max_words_per_machine <= local_space_,
            "machine traffic ", max_words_per_machine,
            " exceeds local space ", local_space_);
   DC_CHECK(total_words <= total_space_, "route volume exceeds total space");
-  ledger_.charge(phase, costs_.route, total_words);
+  acc.ledger.charge(phase, costs_.route, total_words);
+  ++acc.num_routes;
 }
 
-void MpcSim::gather(std::uint64_t words, const std::string& phase) {
+void MpcModel::gather(std::uint64_t words, const std::string& phase,
+                      MpcCosts& acc) const {
   DC_CHECK(words <= local_space_, "gather of ", words,
            " words exceeds local space ", local_space_,
            " — instance too large for one machine");
-  peak_local_ = std::max(peak_local_, words);
-  ledger_.charge(phase, costs_.gather, words);
+  acc.peak_local_words = std::max(acc.peak_local_words, words);
+  acc.ledger.charge(phase, costs_.gather, words);
+  ++acc.num_gathers;
 }
 
-void MpcSim::note_resident(std::uint64_t local_words,
-                           std::uint64_t total_words) {
+void MpcModel::note_resident(std::uint64_t local_words,
+                             std::uint64_t total_words, MpcCosts& acc) const {
   DC_CHECK(local_words <= local_space_, "resident local footprint ",
            local_words, " exceeds local space ", local_space_);
   DC_CHECK(total_words <= total_space_, "resident global footprint ",
            total_words, " exceeds total space ", total_space_);
-  peak_local_ = std::max(peak_local_, local_words);
-  peak_total_ = std::max(peak_total_, total_words);
+  acc.note_resident(local_words, total_words);
 }
 
 }  // namespace detcol

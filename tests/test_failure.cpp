@@ -28,20 +28,23 @@ TEST(Failure, OneDeficientNodeIsEnough) {
 }
 
 TEST(Failure, CollectBeyondCapacityThrows) {
-  CliqueSim sim(100, {}, 2.0, 2.0);
-  EXPECT_THROW(sim.collect(201, "x"), CheckError);
+  const CliqueModel model(100, {}, 2.0, 2.0);
+  MpcCosts acc;
+  EXPECT_THROW(model.collect(201, "x", acc), CheckError);
 }
 
 TEST(Failure, RouteBeyondLenzenBoundThrows) {
-  CliqueSim sim(100, {}, 1.0);
-  EXPECT_THROW(sim.lenzen_route(1000, 101, "x"), CheckError);
+  const CliqueModel model(100, {}, 1.0);
+  MpcCosts acc;
+  EXPECT_THROW(model.lenzen_route(1000, 101, "x", acc), CheckError);
 }
 
 TEST(Failure, MpcSpaceViolationsThrow) {
-  MpcSim sim(64, 1024);
-  EXPECT_THROW(sim.gather(65, "x"), CheckError);
-  EXPECT_THROW(sim.sort(2048, "x"), CheckError);
-  EXPECT_THROW(sim.note_resident(10, 2048), CheckError);
+  const MpcModel model(64, 1024);
+  MpcCosts acc;
+  EXPECT_THROW(model.gather(65, "x", acc), CheckError);
+  EXPECT_THROW(model.sort(2048, "x", acc), CheckError);
+  EXPECT_THROW(model.note_resident(10, 2048, acc), CheckError);
 }
 
 TEST(Failure, TinyCollectSlackSurfacesModelViolation) {
@@ -66,11 +69,11 @@ TEST(Failure, MalformedConfigRejected) {
   EXPECT_THROW(color_reduce(g, pal, cfg), CheckError);
 }
 
-TEST(Failure, SimulatorsRejectDegenerateConstruction) {
-  EXPECT_THROW(CliqueSim(0), CheckError);
-  EXPECT_THROW(CliqueSim(4, {}, 0.5), CheckError);
-  EXPECT_THROW(MpcSim(0, 10), CheckError);
-  EXPECT_THROW(MpcSim(100, 10), CheckError);
+TEST(Failure, ModelsRejectDegenerateConstruction) {
+  EXPECT_THROW(CliqueModel(0), CheckError);
+  EXPECT_THROW(CliqueModel(4, {}, 0.5), CheckError);
+  EXPECT_THROW(MpcModel(0, 10), CheckError);
+  EXPECT_THROW(MpcModel(100, 10), CheckError);
 }
 
 TEST(Failure, GraphPreconditionsEnforcedThroughPipeline) {

@@ -32,10 +32,12 @@ TEST(ImplicitPalette, RestrictionMatchesExplicit) {
   ImplicitPaletteStore s(2, k);
   PaletteSet explicit_pal = PaletteSet::uniform(2, k);
   const auto h2 = KWiseHash::from_u64_seed(77, 4, 3);
-  const auto id = s.add_hash(h2);
+  ImplicitPaletteStore::LocalBatch batch;
+  const auto id = batch.add_hash(h2);
   // Node 0 restricted to bin 2, node 1 to bin 1.
-  s.push_restriction(0, id, 2);
-  s.push_restriction(1, id, 1);
+  batch.push_restriction(0, id, 2);
+  batch.push_restriction(1, id, 1);
+  s.apply(std::move(batch));
   explicit_pal.restrict(0, [&](Color c) { return h2(c) + 1 == 2; });
   explicit_pal.restrict(1, [&](Color c) { return h2(c) + 1 == 1; });
   for (NodeId v = 0; v < 2; ++v) {
@@ -52,10 +54,12 @@ TEST(ImplicitPalette, ChainedRestrictionsCompose) {
   PaletteSet explicit_pal = PaletteSet::uniform(1, k);
   const auto h_a = KWiseHash::from_u64_seed(1, 4, 4);
   const auto h_b = KWiseHash::from_u64_seed(2, 4, 2);
-  const auto ia = s.add_hash(h_a);
-  const auto ib = s.add_hash(h_b);
-  s.push_restriction(0, ia, 3);
-  s.push_restriction(0, ib, 1);
+  ImplicitPaletteStore::LocalBatch batch;
+  const auto ia = batch.add_hash(h_a);
+  const auto ib = batch.add_hash(h_b);
+  batch.push_restriction(0, ia, 3);
+  batch.push_restriction(0, ib, 1);
+  s.apply(std::move(batch));
   s.remove_color(0, 5);
   explicit_pal.restrict(0, [&](Color c) { return h_a(c) + 1 == 3; });
   explicit_pal.restrict(0, [&](Color c) { return h_b(c) + 1 == 1; });
@@ -72,8 +76,10 @@ TEST(ImplicitPalette, SpaceGrowsWithOperationsNotColors) {
   const std::uint64_t base = s.space_words();
   EXPECT_LE(base, 200u);  // ~n words of chain heads, no palette storage
   const auto h = KWiseHash::from_u64_seed(3, 4, 5);
-  const auto id = s.add_hash(h);
-  for (NodeId v = 0; v < 100; ++v) s.push_restriction(v, id, 1);
+  ImplicitPaletteStore::LocalBatch batch;
+  const auto id = batch.add_hash(h);
+  for (NodeId v = 0; v < 100; ++v) batch.push_restriction(v, id, 1);
+  s.apply(std::move(batch));
   // One hash (c+1 words) + 100 chain entries.
   EXPECT_LE(s.space_words(), base + 5 + 100);
   // Explicit storage would be 100 * 1000 words.
@@ -81,8 +87,73 @@ TEST(ImplicitPalette, SpaceGrowsWithOperationsNotColors) {
 }
 
 TEST(ImplicitPalette, UnknownHashRejected) {
-  ImplicitPaletteStore s(1, 4);
-  EXPECT_THROW(s.push_restriction(0, 3, 1), CheckError);
+  ImplicitPaletteStore::LocalBatch batch;
+  EXPECT_THROW(batch.push_restriction(0, 3, 1), CheckError);
+}
+
+TEST(ImplicitPalette, BatchMergeRebasesHashIds) {
+  // Parent registers hash A; a child branch, blind to the parent's ids,
+  // registers hash B under its own local id 0. After the merge the child's
+  // restriction must resolve against B, not A.
+  const Color k = 64;
+  ImplicitPaletteStore s(2, k);
+  const auto h_a = KWiseHash::from_u64_seed(10, 4, 4);
+  const auto h_b = KWiseHash::from_u64_seed(20, 4, 2);
+  ImplicitPaletteStore::LocalBatch parent, child;
+  const auto ia = parent.add_hash(h_a);
+  parent.push_restriction(0, ia, 2);
+  const auto ib = child.add_hash(h_b);
+  EXPECT_EQ(ib, 0u);  // child ids are batch-local
+  child.push_restriction(1, ib, 1);
+  parent.merge(std::move(child));
+  s.apply(std::move(parent));
+  PaletteSet explicit_pal = PaletteSet::uniform(2, k);
+  explicit_pal.restrict(0, [&](Color c) { return h_a(c) + 1 == 2; });
+  explicit_pal.restrict(1, [&](Color c) { return h_b(c) + 1 == 1; });
+  for (NodeId v = 0; v < 2; ++v) {
+    const auto got = s.materialize(v);
+    const auto want = explicit_pal.palette(v);
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  }
+}
+
+TEST(ImplicitPalette, BatchMergeAssociativeWithEmptyIdentity) {
+  const auto h_a = KWiseHash::from_u64_seed(1, 4, 4);
+  const auto h_b = KWiseHash::from_u64_seed(2, 4, 4);
+  const auto h_c = KWiseHash::from_u64_seed(3, 4, 4);
+  const auto make = [&](const KWiseHash& h, NodeId v) {
+    ImplicitPaletteStore::LocalBatch b;
+    b.push_restriction(v, b.add_hash(h), 1);
+    return b;
+  };
+  // (a · b) · c and a · (b · c) must install identical stores.
+  ImplicitPaletteStore left_store(3, 16), right_store(3, 16);
+  {
+    auto a = make(h_a, 0);
+    a.merge(make(h_b, 1));
+    a.merge(make(h_c, 2));
+    left_store.apply(std::move(a));
+  }
+  {
+    auto bc = make(h_b, 1);
+    bc.merge(make(h_c, 2));
+    auto a = make(h_a, 0);
+    a.merge(std::move(bc));
+    right_store.apply(std::move(a));
+  }
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(left_store.materialize(v), right_store.materialize(v));
+  }
+  EXPECT_EQ(left_store.space_words(), right_store.space_words());
+  // Empty batch is the identity.
+  ImplicitPaletteStore::LocalBatch e;
+  auto a = make(h_a, 0);
+  a.merge(std::move(e));
+  EXPECT_FALSE(a.empty());
+  ImplicitPaletteStore id_store(3, 16);
+  id_store.apply(std::move(a));
+  EXPECT_EQ(id_store.materialize(0), left_store.materialize(0));
 }
 
 }  // namespace

@@ -384,6 +384,7 @@ TEST(ParallelInvariance, LowSpaceBitIdenticalAcrossThreadCounts) {
     const auto base = low_space_color(cs.g, pal, base_params);
     expect_matches_golden(cs, base);
     const std::string base_ledger = ledger_to_json(base.ledger);
+    const std::string base_mpc = mpc_costs_to_json(base.mpc);
     for (const unsigned t : kThreadMatrix) {
       ThreadPool pool(t);
       LowSpaceParams params = base_params;
@@ -392,6 +393,8 @@ TEST(ParallelInvariance, LowSpaceBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(r.coloring.color, base.coloring.color)
           << cs.name << " @ " << t << " threads";
       EXPECT_EQ(ledger_to_json(r.ledger), base_ledger)
+          << cs.name << " @ " << t << " threads";
+      EXPECT_EQ(mpc_costs_to_json(r.mpc), base_mpc)
           << cs.name << " @ " << t << " threads";
       EXPECT_EQ(r.seed_evaluations, base.seed_evaluations);
       EXPECT_EQ(r.num_partitions, base.num_partitions);
@@ -415,6 +418,7 @@ TEST(ParallelInvariance, MisBitIdenticalAcrossThreadCounts) {
   }
   const auto base = mis_list_color(g, pals, {}, 4);
   const std::string base_ledger = ledger_to_json(base.ledger);
+  const std::string base_mpc = mpc_costs_to_json(base.mpc);
   for (const unsigned t : kThreadMatrix) {
     ThreadPool pool(t);
     MisParams params;
@@ -424,6 +428,7 @@ TEST(ParallelInvariance, MisBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(r.phases, base.phases) << t << " threads";
     EXPECT_EQ(r.seed_evaluations, base.seed_evaluations) << t << " threads";
     EXPECT_EQ(ledger_to_json(r.ledger), base_ledger) << t << " threads";
+    EXPECT_EQ(mpc_costs_to_json(r.mpc), base_mpc) << t << " threads";
   }
 }
 
@@ -434,6 +439,7 @@ TEST(ParallelInvariance, DistributedMceBitIdenticalAcrossThreadCounts) {
   };
   cc::Network base_net(32);
   const auto base = distributed_mce(base_net, 128, 5, cost, 2, 0xD157ULL);
+  const std::string base_mpc = mpc_costs_to_json(base.mpc);
   for (const unsigned t : kThreadMatrix) {
     ThreadPool pool(t);
     cc::Network net(32);
@@ -443,6 +449,7 @@ TEST(ParallelInvariance, DistributedMceBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(r.network_rounds, base.network_rounds) << t << " threads";
     EXPECT_EQ(r.chunks, base.chunks) << t << " threads";
     EXPECT_EQ(r.final_estimate, base.final_estimate) << t << " threads";
+    EXPECT_EQ(mpc_costs_to_json(r.mpc), base_mpc) << t << " threads";
   }
 }
 

@@ -33,8 +33,9 @@ TEST(Distribute, TinySpaceRejected) {
 TEST(SampleSort, SortsGlobally) {
   const auto items = random_items(5000, 2);
   auto d = distribute(items, 512);
-  MpcSim sim(512, 1u << 22);
-  const auto rounds = sample_sort(d, sim);
+  const MpcModel model(512, 1u << 22);
+  MpcCosts acc;
+  const auto rounds = sample_sort(d, model, acc);
   EXPECT_GE(rounds, 3u);  // sample + splitters + exchange
   const auto out = d.gather();
   auto want = items;
@@ -46,8 +47,9 @@ TEST(SampleSort, SingleMachineNoCommunication) {
   const auto items = random_items(50, 3);
   auto d = distribute(items, 1024);
   ASSERT_EQ(d.num_machines(), 1u);
-  MpcSim sim(1024, 1 << 16);
-  EXPECT_EQ(sample_sort(d, sim), 0u);
+  const MpcModel model(1024, 1 << 16);
+  MpcCosts acc;
+  EXPECT_EQ(sample_sort(d, model, acc), 0u);
   const auto out = d.gather();
   EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
 }
@@ -56,8 +58,9 @@ TEST(SampleSort, DuplicateHeavyKeys) {
   std::vector<std::uint64_t> items(4000, 7);  // all equal
   for (std::size_t i = 0; i < 100; ++i) items[i * 17] = i;
   auto d = distribute(items, 4096);
-  MpcSim sim(4096, 1u << 22);
-  sample_sort(d, sim);
+  const MpcModel model(4096, 1u << 22);
+  MpcCosts acc;
+  sample_sort(d, model, acc);
   const auto out = d.gather();
   auto want = items;
   std::sort(want.begin(), want.end());
@@ -66,8 +69,9 @@ TEST(SampleSort, DuplicateHeavyKeys) {
 
 TEST(SampleSort, EmptyInput) {
   auto d = distribute({}, 64);
-  MpcSim sim(64, 4096);
-  EXPECT_EQ(sample_sort(d, sim), 0u);
+  const MpcModel model(64, 4096);
+  MpcCosts acc;
+  EXPECT_EQ(sample_sort(d, model, acc), 0u);
 }
 
 TEST(SampleSort, SpaceBoundEnforcedOnSkew) {
@@ -75,16 +79,18 @@ TEST(SampleSort, SpaceBoundEnforcedOnSkew) {
   // the guarantee breaks and the primitive must refuse loudly.
   std::vector<std::uint64_t> items(2000, 42);
   auto d = distribute(items, 64);  // 63 machines, bucket of 2000 >> 64
-  MpcSim sim(64, 1u << 22);
-  EXPECT_THROW(sample_sort(d, sim), CheckError);
+  const MpcModel model(64, 1u << 22);
+  MpcCosts acc;
+  EXPECT_THROW(sample_sort(d, model, acc), CheckError);
 }
 
 TEST(PrefixSums, ExclusivePrefixPerMachine) {
   std::vector<std::uint64_t> items(100);
   std::iota(items.begin(), items.end(), 1);  // 1..100, total 5050
   auto d = distribute(items, 32);
-  MpcSim sim(32, 1 << 16);
-  const auto prefix = machine_prefix_sums(d, sim);
+  const MpcModel model(32, 1 << 16);
+  MpcCosts acc;
+  const auto prefix = machine_prefix_sums(d, model, acc);
   ASSERT_EQ(prefix.size(), d.num_machines());
   EXPECT_EQ(prefix[0], 0u);
   std::uint64_t running = 0;
@@ -98,9 +104,10 @@ TEST(PrefixSums, ExclusivePrefixPerMachine) {
 TEST(PrefixSums, ChargesConstantRounds) {
   const auto items = random_items(300, 5);
   auto d = distribute(items, 64);
-  MpcSim sim(64, 1 << 16);
-  machine_prefix_sums(d, sim);
-  EXPECT_LE(sim.ledger().total_rounds(), 4u);
+  const MpcModel model(64, 1 << 16);
+  MpcCosts acc;
+  machine_prefix_sums(d, model, acc);
+  EXPECT_LE(acc.ledger.total_rounds(), 4u);
 }
 
 }  // namespace

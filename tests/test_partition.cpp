@@ -23,14 +23,15 @@ TEST(Partition, MeetsLemma39Targets) {
   const Instance inst = make_instance(g, g.max_degree());
   const PaletteSet pal = PaletteSet::delta_plus_one(g);
   PartitionParams params;
-  CliqueSim sim(800);
-  const auto pr = partition(inst, pal, 800, params, &sim, 1);
+  const CliqueModel model(800);
+  MpcCosts acc;
+  const auto pr = partition(inst, pal, 800, params, &model, &acc, 1);
   // Derandomized guarantees: no bad bins, G0 within the O(n) budget.
   EXPECT_EQ(pr.cls.num_bad_bins, 0u);
   EXPECT_LE(pr.cls.cost_size, params.g0_budget * 800.0);
   EXPECT_TRUE(pr.seed.met_threshold);
   EXPECT_GE(pr.num_bins, 2u);
-  EXPECT_GT(sim.ledger().total_rounds(), 0u);
+  EXPECT_GT(acc.ledger.total_rounds(), 0u);
 }
 
 TEST(Partition, GoodColorBinNodesAreRecursivelyColorable) {
@@ -38,7 +39,7 @@ TEST(Partition, GoodColorBinNodesAreRecursivelyColorable) {
   const Instance inst = make_instance(g, g.max_degree());
   const PaletteSet pal = PaletteSet::delta_plus_one(g);
   PartitionParams params;
-  const auto pr = partition(inst, pal, 600, params, nullptr, 2);
+  const auto pr = partition(inst, pal, 600, params, nullptr, nullptr, 2);
   const std::uint64_t b = pr.num_bins;
   for (NodeId v = 0; v < inst.n(); ++v) {
     if (pr.cls.bin_of[v] != 0 && pr.cls.bin_of[v] != b) {
@@ -53,12 +54,12 @@ TEST(Partition, Deterministic) {
   const Instance inst = make_instance(g, g.max_degree());
   const PaletteSet pal = PaletteSet::delta_plus_one(g);
   PartitionParams params;
-  const auto a = partition(inst, pal, 300, params, nullptr, 9);
-  const auto b = partition(inst, pal, 300, params, nullptr, 9);
+  const auto a = partition(inst, pal, 300, params, nullptr, nullptr, 9);
+  const auto b = partition(inst, pal, 300, params, nullptr, nullptr, 9);
   EXPECT_EQ(a.cls.bin_of, b.cls.bin_of);
   EXPECT_EQ(a.seed.cost, b.seed.cost);
   // Different salt explores a different (but still valid) seed.
-  const auto c = partition(inst, pal, 300, params, nullptr, 10);
+  const auto c = partition(inst, pal, 300, params, nullptr, nullptr, 10);
   EXPECT_EQ(c.cls.num_bad_bins, 0u);
 }
 
@@ -69,7 +70,7 @@ TEST(Partition, EllNextFollowsPaperFormula) {
   // Palettes must exceed ell for Corollary 3.3 — give everyone 1001 colors.
   const PaletteSet pal = PaletteSet::uniform(200, 1100);
   PartitionParams params;
-  const auto pr = partition(inst, pal, 200, params, nullptr, 4);
+  const auto pr = partition(inst, pal, 200, params, nullptr, nullptr, 4);
   EXPECT_DOUBLE_EQ(pr.ell_next, next_ell(ell, params));
 }
 
@@ -92,7 +93,7 @@ TEST(Partition, Lemma32CheckerOnChosenSeed) {
   const Instance inst = make_instance(g, g.max_degree());
   const PaletteSet pal = PaletteSet::delta_plus_one(g);
   PartitionParams params;
-  const auto pr = partition(inst, pal, 500, params, nullptr, 6);
+  const auto pr = partition(inst, pal, 500, params, nullptr, nullptr, 6);
   const auto rep = check_lemma_32(inst, pr.cls, params);
   EXPECT_GT(rep.checked, 0u);
   EXPECT_EQ(rep.viol_deg_lt_p, 0u) << rep.to_string();
@@ -105,7 +106,7 @@ TEST(Partition, ColorBinsReceiveDisjointPalettes) {
   const Instance inst = make_instance(g, g.max_degree());
   const PaletteSet pal = PaletteSet::delta_plus_one(g);
   PartitionParams params;
-  const auto pr = partition(inst, pal, 400, params, nullptr, 12);
+  const auto pr = partition(inst, pal, 400, params, nullptr, nullptr, 12);
   const std::uint64_t b = pr.num_bins;
   for (NodeId u = 0; u < inst.n(); ++u) {
     const auto bu = pr.cls.bin_of[u];
@@ -128,7 +129,7 @@ TEST(Partition, SparseGraphManyBadStillWithinBudget) {
   Instance inst = make_instance(g, 8.0);
   const PaletteSet pal = PaletteSet::uniform(1000, 9);
   PartitionParams params;
-  const auto pr = partition(inst, pal, 1000, params, nullptr, 8);
+  const auto pr = partition(inst, pal, 1000, params, nullptr, nullptr, 8);
   EXPECT_LE(pr.cls.cost_size, params.g0_budget * 1000.0);
 }
 

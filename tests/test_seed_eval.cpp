@@ -408,6 +408,7 @@ TEST(ParallelInvariance, ColorReduceBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(base.ledger.total_rounds(), cs.want_rounds);
     const std::string base_ledger = ledger_to_json(base.ledger);
     const std::string base_stats = call_stats_to_json(base.root);
+    const std::string base_mpc = mpc_costs_to_json(base.mpc);
     for (const unsigned t : kThreadMatrix) {
       ThreadPool pool(t);
       ColorReduceConfig cfg;
@@ -416,6 +417,7 @@ TEST(ParallelInvariance, ColorReduceBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(r.coloring.color, base.coloring.color) << t << " threads";
       EXPECT_EQ(ledger_to_json(r.ledger), base_ledger) << t << " threads";
       EXPECT_EQ(call_stats_to_json(r.root), base_stats) << t << " threads";
+      EXPECT_EQ(mpc_costs_to_json(r.mpc), base_mpc) << t << " threads";
       EXPECT_EQ(r.num_partitions, base.num_partitions);
       EXPECT_EQ(r.num_collects, base.num_collects);
       EXPECT_EQ(r.max_depth_reached, base.max_depth_reached);
@@ -443,6 +445,8 @@ TEST(ParallelInvariance, ForcedRecursionLedgersIdenticalAcrossThreadCounts) {
     EXPECT_EQ(ledger_to_json(r.ledger), ledger_to_json(base.ledger))
         << t << " threads";
     EXPECT_EQ(call_stats_to_json(r.root), call_stats_to_json(base.root))
+        << t << " threads";
+    EXPECT_EQ(mpc_costs_to_json(r.mpc), mpc_costs_to_json(base.mpc))
         << t << " threads";
   }
 }
