@@ -32,6 +32,7 @@ RandomTrialResult random_trial_color(const Graph& g,
   // count (and to the pre-parallel baseline).
   std::size_t uncolored = n;
   while (uncolored > 0) {
+    exec.check_deadline("random-trial");
     DC_CHECK(r.trial_rounds < max_rounds,
              "random trial failed to converge in ", max_rounds, " rounds");
     // Available colors per uncolored node: palette minus colored-neighbor

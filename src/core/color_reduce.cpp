@@ -8,6 +8,7 @@
 #include "core/partition.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -242,6 +243,11 @@ class Driver {
 
   RunState recurse(const Instance& inst, unsigned depth, std::uint64_t salt,
                    CallStats& stats, TaskScratch& scratch) {
+    // Coarse, safe point for the cooperative budget and fault-injection
+    // checks: no partial state exists yet at a recursion entry, so throwing
+    // here unwinds cleanly through the fork/join joins.
+    cfg_.exec.check_deadline("color-reduce");
+    DC_FAILPOINT("color_reduce.recurse");
     WallTimer timer;
     double own_seconds = 0.0;
     RunState st;

@@ -1,8 +1,8 @@
 #include "core/stats_export.hpp"
 
-#include <fstream>
-
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/json.hpp"
 
 namespace detcol {
@@ -163,10 +163,8 @@ std::string mis_result_to_json(const MisBaselineResult& result,
 }
 
 void write_json_file(const std::string& path, const std::string& json) {
-  std::ofstream os(path);
-  DC_CHECK(os.good(), "cannot open ", path, " for writing");
-  os << json << '\n';
-  DC_CHECK(os.good(), "write to ", path, " failed");
+  DC_FAILPOINT("stats.write.body");
+  atomic_write_file(path, json + "\n");
 }
 
 }  // namespace detcol

@@ -31,14 +31,22 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "util/deadline.hpp"
 
 namespace detcol {
 
-/// One-pointer value type handed down every parallelized call path. Copying
+/// Two-pointer value type handed down every parallelized call path. Copying
 /// is free and thread-safe; the referenced pool must outlive every context
 /// that points at it (ExecHolder packages that lifetime rule). A
 /// default-constructed context is the sequential special case — same shard
 /// decomposition, no pool — so code never branches on "parallel or not".
+///
+/// The context also carries the run's optional wall-clock Deadline
+/// (util/deadline.hpp): the driver loops poll check_deadline() at coarse
+/// safe points, so every pipeline that takes an exec token inherits timeout
+/// support without new plumbing. The pointed-to Deadline, like the pool,
+/// must outlive the context (the suite runner keeps it on the cell's stack
+/// frame around the whole pipeline call).
 class ExecContext {
  public:
   constexpr ExecContext() = default;  // sequential
@@ -48,8 +56,22 @@ class ExecContext {
   bool parallel() const { return num_threads() > 1; }
   ThreadPool* pool() const { return pool_; }
 
+  void set_deadline(const Deadline* d) { deadline_ = d; }
+  const Deadline* deadline() const { return deadline_; }
+
+  /// Cooperative timeout poll: throws DeadlineExceeded once the attached
+  /// deadline has expired. `where` names the polling driver for the
+  /// diagnostic. Near-free when no deadline is attached.
+  void check_deadline(const char* where) const {
+    if (deadline_ != nullptr && deadline_->expired()) {
+      throw DeadlineExceeded(std::string(where) +
+                             ": wall-clock budget exhausted");
+    }
+  }
+
  private:
   ThreadPool* pool_ = nullptr;
+  const Deadline* deadline_ = nullptr;
 };
 
 /// Pool + context pair for callers that size the pool from a runtime thread

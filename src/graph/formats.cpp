@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -10,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace detcol {
 
@@ -433,12 +434,8 @@ Graph parse_dcg(std::string_view bytes, const std::string& what) {
 }
 
 void write_dcg_file(const std::string& path, const Graph& g) {
-  std::ofstream os(path, std::ios::binary);
-  DC_CHECK(os.good(), "cannot open ", path, " for writing");
-  const std::string bytes = dcg_bytes(g);
-  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  os.flush();
-  DC_CHECK(os.good(), "write to ", path, " failed");
+  DC_FAILPOINT("dcg.write.body");
+  atomic_write_file(path, dcg_bytes(g));
 }
 
 // ---------------------------------------------------------------------------
@@ -475,16 +472,15 @@ void write_graph_file(const std::string& path, const Graph& g,
     write_dcg_file(path, g);
     return;
   }
-  std::ofstream os(path);
-  DC_CHECK(os.good(), "cannot open ", path, " for writing");
-  switch (fmt) {
-    case GraphFormat::kEdgeList: write_edge_list(os, g); break;
-    case GraphFormat::kDimacs: write_dimacs(os, g); break;
-    case GraphFormat::kMetis: write_metis(os, g); break;
-    default: DC_CHECK(false, "unreachable write format");
-  }
-  os.flush();
-  DC_CHECK(os.good(), "write to ", path, " failed");
+  DC_FAILPOINT("graph.write.body");
+  atomic_write_stream(path, [&](std::ostream& os) {
+    switch (fmt) {
+      case GraphFormat::kEdgeList: write_edge_list(os, g); break;
+      case GraphFormat::kDimacs: write_dimacs(os, g); break;
+      case GraphFormat::kMetis: write_metis(os, g); break;
+      default: DC_CHECK(false, "unreachable write format");
+    }
+  });
 }
 
 }  // namespace detcol

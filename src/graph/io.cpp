@@ -1,7 +1,9 @@
 #include "graph/io.hpp"
 
+#include <cerrno>
 #include <charconv>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -9,7 +11,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace detcol {
 
@@ -105,11 +109,13 @@ std::vector<LineSpan> index_lines(std::string_view buf, ExecContext exec) {
 }
 
 std::string slurp_file(const std::string& path) {
+  DC_FAILPOINT("io.read");
   std::ifstream is(path, std::ios::binary);
-  DC_CHECK(is.good(), "cannot open ", path, " for reading");
+  DC_CHECK(is.good(), "cannot open ", path, " for reading: ",
+           std::strerror(errno));
   std::ostringstream os;
   os << is.rdbuf();
-  DC_CHECK(!is.bad(), "read from ", path, " failed");
+  DC_CHECK(!is.bad(), "read from ", path, " failed: ", std::strerror(errno));
   return std::move(os).str();
 }
 
@@ -121,11 +127,8 @@ void write_edge_list(std::ostream& os, const Graph& g) {
 }
 
 void write_edge_list_file(const std::string& path, const Graph& g) {
-  std::ofstream os(path);
-  DC_CHECK(os.good(), "cannot open ", path, " for writing");
-  write_edge_list(os, g);
-  os.flush();
-  DC_CHECK(os.good(), "write to ", path, " failed");
+  DC_FAILPOINT("edges.write.body");
+  atomic_write_stream(path, [&](std::ostream& os) { write_edge_list(os, g); });
 }
 
 namespace {

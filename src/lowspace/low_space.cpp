@@ -9,6 +9,7 @@
 #include "hashing/kwise.hpp"
 #include "lowspace/seed_engine.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -199,6 +200,9 @@ class LsDriver {
 
   LsRunState recurse(const LsInstance& inst, unsigned depth,
                      std::uint64_t salt) {
+    // Recursion entry = safe point: budget poll + fault-injection site.
+    p_.exec.check_deadline("lowspace");
+    DC_FAILPOINT("lowspace.recurse");
     LsRunState st;
     st.depth_reached = depth;
     if (inst.n() == 0) return st;

@@ -165,6 +165,7 @@ MisColorResult mis_list_color(
   MisPhaseEngine engine(r.num_vertices, c, params.exec);
 
   while (st.uncolored > 0) {
+    params.exec.check_deadline("mis");
     DC_CHECK(result.phases < params.max_phases,
              "MIS failed to converge within ", params.max_phases, " phases");
     const std::uint64_t remaining = st.remaining_edges;

@@ -38,6 +38,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "baselines/greedy.hpp"
@@ -52,8 +53,11 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "lowspace/low_space.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/deadline.hpp"
+#include "util/failpoint.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -128,10 +132,27 @@ Suite:
                      --input flags, repeatable), "palette FLAGS...",
                      "pipelines NAME..." (reduce, lowspace, mis, trial,
                      greedy), "threads N...", "seed S" (trial's algorithm
-                     seed). Runs every {graph x pipeline x threads} cell
-                     (greedy is sequential: one threads=1 cell per graph)
-                     and writes one JSON report with per-cell rounds,
-                     colors and wall time to --out.
+                     seed), "timeout_seconds S" (per-cell wall budget;
+                     expired cells report status "timeout"), "timing off"
+                     (report wall_seconds as 0 for byte-identical reports).
+                     Runs every {graph x pipeline x threads} cell (greedy
+                     is sequential: one threads=1 cell per graph) and
+                     writes one JSON report to --out. Each cell is
+                     isolated: a failing or timed-out cell becomes a
+                     structured "error"/"timeout" entry and the rest of
+                     the matrix proceeds; an unreadable graph marks only
+                     its own cells as errors. With --out=FILE the report
+                     is checkpointed durably after every cell.
+  --resume=REPORT    Skip every cell already recorded in REPORT (a prior,
+                     possibly partial, report of the same spec), splicing
+                     those entries into the new report byte-for-byte.
+
+Fault injection (all commands):
+  --failpoints=SPEC  Arm deterministic failpoints: "name@k[:action],..."
+                     fires `action` (io, oom, check, timeout, kill) on the
+                     k-th execution of the named site. Also readable from
+                     $DETCOL_FAILPOINTS; the flag wins. See
+                     docs/ARCHITECTURE.md "Failure model & fault injection".
 
 Output (gen, color, stats):
   --out=FILE         Write to FILE instead of stdout.
@@ -312,9 +333,30 @@ std::vector<const char*> combine(std::initializer_list<const char*> a,
 void reject_unknown_flags(const ArgParser& args,
                           const std::vector<const char*>& allowed) {
   for (const std::string& name : args.flag_names()) {
+    if (name == "failpoints") continue;  // global flag, consumed in run()
     const bool known = std::any_of(allowed.begin(), allowed.end(),
                                    [&](const char* a) { return name == a; });
     if (!known) usage_error("unknown flag --" + name);
+  }
+}
+
+/// Arm the fault-injection registry from --failpoints (wins) or the
+/// DETCOL_FAILPOINTS environment variable. A malformed spec is a bad
+/// invocation (exit 2), never a silent no-op.
+void init_failpoints(const ArgParser& args) {
+  std::string spec;
+  std::string src = "flag --failpoints";
+  if (args.has("failpoints")) {
+    spec = get_value_flag(args, "failpoints", "");
+  } else if (const char* env = std::getenv("DETCOL_FAILPOINTS")) {
+    src = "DETCOL_FAILPOINTS";
+    spec = env;
+  } else {
+    return;
+  }
+  std::string error;
+  if (!arm_failpoints(spec, &error)) {
+    usage_error(src + ": " + error);
   }
 }
 
@@ -501,7 +543,9 @@ ArgParser parse_spec(const std::string& spec) {
 // Output helpers.
 // ---------------------------------------------------------------------------
 
-/// Writes via `fn` to --out if set, else to stdout.
+/// Writes via `fn` to --out if set, else to stdout. File targets go through
+/// the atomic temp+fsync+rename writer, so an interrupted or failed run
+/// never leaves a torn output file behind.
 template <typename Fn>
 void with_output(const ArgParser& args, Fn&& fn) {
   const std::string out = get_value_flag(args, "out", "-");
@@ -510,11 +554,8 @@ void with_output(const ArgParser& args, Fn&& fn) {
     std::cout.flush();
     DC_CHECK(std::cout.good(), "write to stdout failed");
   } else {
-    std::ofstream os(out);
-    DC_CHECK(os.good(), "cannot open ", out, " for writing");
-    fn(os);
-    os.flush();
-    DC_CHECK(os.good(), "write to ", out, " failed");
+    DC_FAILPOINT("out.write");
+    atomic_write_stream(out, fn);
   }
 }
 
@@ -874,7 +915,9 @@ struct SuiteSpec {
   std::string palette_flags;          // empty -> delta1
   std::vector<std::string> pipelines;  // canonical algo names
   std::vector<unsigned> threads{1};
-  std::uint64_t algo_seed = 1;  // trial's RNG seed
+  std::uint64_t algo_seed = 1;    // trial's RNG seed
+  double timeout_seconds = 0;     // per-cell wall budget; 0 = unlimited
+  bool timing = true;             // false: report wall_seconds as 0
 };
 
 SuiteSpec parse_suite_spec(const std::string& text, const std::string& what) {
@@ -938,9 +981,23 @@ SuiteSpec parse_suite_spec(const std::string& text, const std::string& what) {
       DC_CHECK(rest.size() == 1 && io_detail::parse_u64(rest[0],
                                                         &spec.algo_seed),
                what, ":", line_no, ": 'seed' needs one unsigned integer");
+    } else if (directive == "timeout_seconds") {
+      DC_CHECK(rest.size() == 1, what, ":", line_no,
+               ": 'timeout_seconds' needs one value");
+      char* end = nullptr;
+      spec.timeout_seconds = std::strtod(rest[0].c_str(), &end);
+      DC_CHECK(!rest[0].empty() && *end == '\0' && spec.timeout_seconds > 0,
+               what, ":", line_no,
+               ": 'timeout_seconds' must be a positive number, got '",
+               rest[0], "'");
+    } else if (directive == "timing") {
+      DC_CHECK(rest.size() == 1 && (rest[0] == "on" || rest[0] == "off"),
+               what, ":", line_no, ": 'timing' needs 'on' or 'off'");
+      spec.timing = rest[0] == "on";
     } else {
       DC_CHECK(false, what, ":", line_no, ": unknown directive '", directive,
-               "' (graph, palette, pipelines, threads, seed)");
+               "' (graph, palette, pipelines, threads, seed, timeout_seconds, "
+               "timing)");
     }
   }
   DC_CHECK(!spec.graphs.empty(), what, ": spec declares no 'graph' lines");
@@ -955,6 +1012,7 @@ struct SuiteCell {
   double wall_seconds = 0;
   bool verified = false;
   std::string issue;
+  std::string mpc_json;  // the pipeline's MPC cost block; empty for baselines
 };
 
 SuiteCell run_suite_cell(const Graph& g, const PaletteSet& palettes,
@@ -968,18 +1026,21 @@ SuiteCell run_suite_cell(const Graph& g, const PaletteSet& palettes,
     cfg.exec = exec;
     ColorReduceResult r = color_reduce(g, palettes, cfg);
     cell.rounds = r.ledger.total_rounds();
+    cell.mpc_json = mpc_costs_to_json(r.mpc);
     coloring = std::move(r.coloring);
   } else if (pipeline == "lowspace") {
     LowSpaceParams params;
     params.exec = exec;
     LowSpaceResult r = low_space_color(g, palettes, params);
     cell.rounds = r.ledger.total_rounds();
+    cell.mpc_json = mpc_costs_to_json(r.mpc);
     coloring = std::move(r.coloring);
   } else if (pipeline == "mis") {
     MisParams params;
     params.exec = exec;
     MisBaselineResult r = mis_baseline_color(g, palettes, params);
     cell.rounds = r.rounds;
+    cell.mpc_json = mpc_costs_to_json(r.mpc);
     coloring = std::move(r.coloring);
   } else if (pipeline == "trial") {
     RandomTrialResult r = random_trial_color(g, palettes, seed,
@@ -998,13 +1059,188 @@ SuiteCell run_suite_cell(const Graph& g, const PaletteSet& palettes,
   return cell;
 }
 
+/// One graph declaration, built lazily the first time one of its cells runs.
+/// A build failure (unreadable file, corrupt content, bad generator flags)
+/// is captured here instead of thrown, so it marks only this graph's cells
+/// as errors while the rest of the matrix proceeds.
+struct GraphSlot {
+  SuiteSpec::GraphDecl decl;
+  bool attempted = false;
+  bool failed = false;
+  std::string error;
+  Graph graph;
+  PaletteSet palettes;
+};
+
+void ensure_graph(GraphSlot& slot, const std::string& palette_flags,
+                  ExecContext exec) {
+  if (slot.attempted) return;
+  slot.attempted = true;
+  try {
+    slot.graph = build_graph(parse_spec(slot.decl.flags),
+                             /*allow_algo_seed=*/false, GraphFormat::kAuto,
+                             exec)
+                     .graph;
+    const std::string pal_flags =
+        palette_flags.empty() ? "--palette=delta1" : palette_flags;
+    slot.palettes = build_palettes(parse_spec(pal_flags), slot.graph).palettes;
+  } catch (const UsageError& e) {
+    slot.failed = true;
+    slot.error = e.what();
+  } catch (const std::exception& e) {  // CheckError, bad_alloc, system_error
+    slot.failed = true;
+    slot.error = e.what();
+  }
+  if (slot.failed) {
+    slot.graph = Graph();
+    slot.palettes = PaletteSet();
+  }
+}
+
+/// A cell's structured outcome: "ok" with the run's numbers, "timeout", or
+/// "error" with a taxonomy class (load, check, oom, io, verify, internal).
+struct CellOutcome {
+  std::string status;
+  std::string error_class;
+  std::string message;
+  SuiteCell cell;
+};
+
+CellOutcome run_cell_isolated(const GraphSlot& slot,
+                              const std::string& pipeline, ExecContext exec,
+                              std::uint64_t seed, double timeout_seconds) {
+  CellOutcome out;
+  if (slot.failed) {
+    out.status = "error";
+    out.error_class = "load";
+    out.message = slot.error;
+    return out;
+  }
+  // The deadline lives on this frame for the whole pipeline call; the exec
+  // copy handed down carries a pointer to it (exec/exec.hpp lifetime rule).
+  Deadline deadline;
+  if (timeout_seconds > 0) deadline = Deadline::after_seconds(timeout_seconds);
+  exec.set_deadline(&deadline);
+  try {
+    DC_FAILPOINT("suite.cell");
+    out.cell = run_suite_cell(slot.graph, slot.palettes, pipeline, exec, seed);
+    if (out.cell.verified) {
+      out.status = "ok";
+    } else {
+      out.status = "error";
+      out.error_class = "verify";
+      out.message = out.cell.issue;
+    }
+  } catch (const DeadlineExceeded& e) {
+    out.status = "timeout";
+    out.message = e.what();
+  } catch (const CheckError& e) {
+    out.status = "error";
+    out.error_class = "check";
+    out.message = e.what();
+  } catch (const std::bad_alloc&) {
+    out.status = "error";
+    out.error_class = "oom";
+    out.message = "allocation failure";
+  } catch (const std::system_error& e) {
+    out.status = "error";
+    out.error_class = "io";
+    out.message = e.what();
+  } catch (const std::exception& e) {
+    out.status = "error";
+    out.error_class = "internal";
+    out.message = e.what();
+  }
+  return out;
+}
+
+/// Render a suite cell's JSON object. `timing` off reports wall_seconds as 0
+/// so full reports are byte-identical across runs (the resume tests rely on
+/// this).
+std::string render_cell_json(const std::string& graph,
+                             const std::string& pipeline, unsigned threads,
+                             const CellOutcome& out, bool timing) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("graph").value(graph);
+  w.key("pipeline").value(pipeline);
+  w.key("threads").value(threads);
+  w.key("status").value(out.status);
+  if (out.status == "ok") {
+    w.key("rounds").value(out.cell.rounds);
+    w.key("colors_used").value(std::uint64_t{out.cell.colors});
+    w.key("wall_seconds").value(timing ? out.cell.wall_seconds : 0.0);
+    w.key("verified").value(true);
+    if (!out.cell.mpc_json.empty()) w.key("mpc").raw(out.cell.mpc_json);
+  } else if (out.status == "timeout") {
+    w.key("message").value(out.message);
+  } else {  // "error"
+    w.key("error_class").value(out.error_class);
+    w.key("message").value(out.message);
+  }
+  w.end_object();
+  return w.str();
+}
+
 int cmd_suite(const ArgParser& args) {
-  reject_unknown_flags(args, combine({"spec", "out", "quiet"}));
+  reject_unknown_flags(args, combine({"spec", "out", "quiet", "resume"}));
   reject_positionals(args);
   const std::string spec_path = get_value_flag(args, "spec", "");
   if (spec_path.empty()) usage_error("suite needs --spec=FILE");
   const bool quiet = get_bool_strict(args, "quiet");
   const SuiteSpec spec = parse_suite_spec(slurp_file(spec_path), spec_path);
+  const std::string out_path = get_value_flag(args, "out", "-");
+  const bool file_out = !(out_path.empty() || out_path == "-");
+
+  // --resume=REPORT: reload a prior (possibly partial) report of the same
+  // spec; every cell it records is skipped and re-emitted byte-for-byte from
+  // its raw span, so a clean run and a kill + resume produce identical
+  // reports (with `timing off`). Problems in the report are data errors.
+  std::map<std::string, std::string> resume_cells;  // key -> raw JSON object
+  std::map<std::string, bool> resume_ok;            // key -> status == "ok"
+  std::map<std::string, std::string> resume_graphs;  // name -> raw header row
+  const auto cell_key = [](const std::string& graph,
+                           const std::string& pipeline, unsigned threads) {
+    return graph + '|' + pipeline + '|' + std::to_string(threads);
+  };
+  if (args.has("resume")) {
+    const std::string rpath = get_value_flag(args, "resume", "");
+    if (rpath.empty()) usage_error("--resume requires a report path");
+    const std::string text = slurp_file(rpath);
+    const JsonValue doc = parse_json(text, rpath);
+    DC_CHECK(doc.find("detcol_suite") != nullptr, rpath,
+             ": not a detcol suite report (no \"detcol_suite\" field)");
+    const auto raw_of = [&](const JsonValue& v) {
+      return text.substr(v.raw_begin, v.raw_end - v.raw_begin);
+    };
+    if (const JsonValue* rows = doc.find("graphs")) {
+      for (const JsonValue& row : rows->items) {
+        const JsonValue* name = row.find("name");
+        // Rows checkpointed before their graph was built carry a "pending"
+        // marker; the resumed run rebuilds those, so skip their stubs.
+        if (name != nullptr && row.find("pending") == nullptr) {
+          resume_graphs[name->string_value] = raw_of(row);
+        }
+      }
+    }
+    if (const JsonValue* rows = doc.find("cells")) {
+      for (const JsonValue& row : rows->items) {
+        const JsonValue* graph = row.find("graph");
+        const JsonValue* pipeline = row.find("pipeline");
+        const JsonValue* threads = row.find("threads");
+        const JsonValue* status = row.find("status");
+        DC_CHECK(graph != nullptr && pipeline != nullptr &&
+                     threads != nullptr && status != nullptr,
+                 rpath, ": malformed cell entry (needs graph, pipeline, "
+                 "threads, status)");
+        const auto key = cell_key(
+            graph->string_value, pipeline->string_value,
+            static_cast<unsigned>(threads->number));
+        resume_cells[key] = raw_of(row);
+        resume_ok[key] = status->string_value == "ok";
+      }
+    }
+  }
 
   // One pool per distinct thread count, built up front; cells reuse them.
   std::map<unsigned, ExecHolder> holders;
@@ -1015,92 +1251,118 @@ int cmd_suite(const ArgParser& args) {
   const unsigned max_threads =
       *std::max_element(spec.threads.begin(), spec.threads.end());
 
-  // Build every graph (and its palettes) once; flag problems inside the spec
-  // are data errors.
-  struct BuiltGraph {
-    SuiteSpec::GraphDecl decl;
-    Graph graph;
-    PaletteSet palettes;
-  };
-  std::vector<BuiltGraph> graphs;
-  graphs.reserve(spec.graphs.size());
+  std::vector<GraphSlot> slots;
+  slots.reserve(spec.graphs.size());
   for (const auto& decl : spec.graphs) {
-    try {
-      BuiltGraph built;
-      built.decl = decl;
-      built.graph = build_graph(parse_spec(decl.flags),
-                                /*allow_algo_seed=*/false, GraphFormat::kAuto,
-                                holders.at(max_threads).exec)
-                        .graph;
-      const std::string pal_flags =
-          spec.palette_flags.empty() ? "--palette=delta1" : spec.palette_flags;
-      built.palettes = build_palettes(parse_spec(pal_flags), built.graph)
-                           .palettes;
-      graphs.push_back(std::move(built));
-    } catch (const UsageError& e) {
-      DC_CHECK(false, spec_path, ": graph '", decl.name, "': ", e.what());
-    }
+    GraphSlot slot;
+    slot.decl = decl;
+    slots.push_back(std::move(slot));
   }
 
-  JsonWriter w;
-  w.begin_object();
-  w.key("detcol_suite").value(1);
-  w.key("spec").value(spec_path);  // as passed: reports should be portable
-  w.key("host_cpus")
-      .value(std::uint64_t{std::thread::hardware_concurrency()});
-  w.key("graphs").begin_array();
-  for (const auto& built : graphs) {
+  std::vector<std::string> cell_json;  // rendered cells, matrix order
+  bool all_ok = true;
+
+  // Full report from the current state; called after every executed cell
+  // (checkpoint) and once at the end. Graph header rows: fresh for built
+  // graphs, load_error for failed ones, resumed raw for graphs whose cells
+  // all came from --resume, and a "pending" stub for graphs not yet reached
+  // (stubs appear only in checkpoints, never in a completed report).
+  const auto render_report = [&]() {
+    JsonWriter w;
     w.begin_object();
-    w.key("name").value(built.decl.name);
-    w.key("spec").value(built.decl.flags);
-    w.key("n").value(std::uint64_t{built.graph.num_nodes()});
-    w.key("m").value(std::uint64_t{built.graph.num_edges()});
-    w.key("max_degree").value(std::uint64_t{built.graph.max_degree()});
+    w.key("detcol_suite").value(1);
+    w.key("spec").value(spec_path);  // as passed: reports should be portable
+    w.key("host_cpus")
+        .value(std::uint64_t{std::thread::hardware_concurrency()});
+    if (spec.timeout_seconds > 0) {
+      w.key("timeout_seconds").value(spec.timeout_seconds);
+    }
+    w.key("graphs").begin_array();
+    for (const GraphSlot& slot : slots) {
+      if (!slot.attempted) {
+        const auto resumed = resume_graphs.find(slot.decl.name);
+        if (resumed != resume_graphs.end()) {
+          w.raw(resumed->second);
+          continue;
+        }
+      }
+      w.begin_object();
+      w.key("name").value(slot.decl.name);
+      w.key("spec").value(slot.decl.flags);
+      if (slot.failed) {
+        w.key("load_error").value(slot.error);
+      } else if (slot.attempted) {
+        w.key("n").value(std::uint64_t{slot.graph.num_nodes()});
+        w.key("m").value(std::uint64_t{slot.graph.num_edges()});
+        w.key("max_degree").value(std::uint64_t{slot.graph.max_degree()});
+      } else {
+        w.key("pending").value(true);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.key("cells").begin_array();
+    for (const std::string& cell : cell_json) w.raw(cell);
+    w.end_array();
     w.end_object();
-  }
-  w.end_array();
+    return w.str();
+  };
 
-  bool all_verified = true;
-  w.key("cells").begin_array();
-  for (const auto& built : graphs) {
+  for (GraphSlot& slot : slots) {
     for (const std::string& pipeline : spec.pipelines) {
       // greedy is the sequential centralized baseline: collapse its thread
       // axis to one cell instead of re-running identical work.
       const std::vector<unsigned> cell_threads =
           pipeline == "greedy" ? std::vector<unsigned>{1} : spec.threads;
       for (const unsigned t : cell_threads) {
-        const SuiteCell cell = run_suite_cell(
-            built.graph, built.palettes, pipeline, holders.at(t).exec,
-            spec.algo_seed);
-        all_verified = all_verified && cell.verified;
-        w.begin_object();
-        w.key("graph").value(built.decl.name);
-        w.key("pipeline").value(pipeline);
-        w.key("threads").value(t);
-        w.key("rounds").value(cell.rounds);
-        w.key("colors_used").value(std::uint64_t{cell.colors});
-        w.key("wall_seconds").value(cell.wall_seconds);
-        w.key("verified").value(cell.verified);
-        if (!cell.verified) w.key("issue").value(cell.issue);
-        w.end_object();
+        const std::string key = cell_key(slot.decl.name, pipeline, t);
+        const auto resumed = resume_cells.find(key);
+        if (resumed != resume_cells.end()) {
+          cell_json.push_back(resumed->second);
+          all_ok = all_ok && resume_ok.at(key);
+          continue;
+        }
+        ensure_graph(slot, spec.palette_flags, holders.at(max_threads).exec);
+        const CellOutcome out = run_cell_isolated(
+            slot, pipeline, holders.at(t).exec, spec.algo_seed,
+            spec.timeout_seconds);
+        all_ok = all_ok && out.status == "ok";
+        cell_json.push_back(
+            render_cell_json(slot.decl.name, pipeline, t, out, spec.timing));
         if (!quiet) {
-          std::fprintf(stderr,
-                       "suite: graph=%s pipeline=%s threads=%u -> "
-                       "%zu colors, %llu rounds, %.3fs%s\n",
-                       built.decl.name.c_str(), pipeline.c_str(), t,
-                       cell.colors,
-                       static_cast<unsigned long long>(cell.rounds),
-                       cell.wall_seconds,
-                       cell.verified ? "" : " [VERIFY FAILED]");
+          if (out.status == "ok") {
+            std::fprintf(stderr,
+                         "suite: graph=%s pipeline=%s threads=%u -> "
+                         "%zu colors, %llu rounds, %.3fs\n",
+                         slot.decl.name.c_str(), pipeline.c_str(), t,
+                         out.cell.colors,
+                         static_cast<unsigned long long>(out.cell.rounds),
+                         out.cell.wall_seconds);
+          } else {
+            std::fprintf(stderr,
+                         "suite: graph=%s pipeline=%s threads=%u -> %s%s%s "
+                         "(%s)\n",
+                         slot.decl.name.c_str(), pipeline.c_str(), t,
+                         out.status.c_str(),
+                         out.error_class.empty() ? "" : "/",
+                         out.error_class.c_str(), out.message.c_str());
+          }
+        }
+        // Durable checkpoint after every executed cell: a killed run loses
+        // at most the cell in flight, and --resume picks up from here.
+        if (file_out) {
+          atomic_write_file(out_path, render_report() + "\n");
+          DC_FAILPOINT("suite.checkpoint");
         }
       }
     }
   }
-  w.end_array();
-  w.end_object();
-  with_output(args, [&](std::ostream& os) { os << w.str() << '\n'; });
-  if (!all_verified) {
-    std::fprintf(stderr, "suite: at least one cell FAILED verification\n");
+
+  with_output(args, [&](std::ostream& os) { os << render_report() << '\n'; });
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "suite: at least one cell failed, timed out, or did not "
+                 "verify\n");
     return kExitFailure;
   }
   return kExitOk;
@@ -1116,6 +1378,7 @@ int run(int argc, char** argv) {
   // name the skipped slot and parses everything after it.
   const ArgParser args(argc - 1, argv + 1);
   try {
+    init_failpoints(args);
     if (command == "gen") return cmd_gen(args);
     if (command == "color") return cmd_color(args);
     if (command == "verify") return cmd_verify(args);
@@ -1142,6 +1405,15 @@ int main(int argc, char** argv) {
     return detcol::run(argc, argv);
   } catch (const detcol::CheckError& e) {
     std::fprintf(stderr, "detcol: %s\n", e.what());
+    return 1;
+  } catch (const detcol::DeadlineExceeded& e) {
+    std::fprintf(stderr, "detcol: %s\n", e.what());
+    return 1;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "detcol: out of memory\n");
+    return 1;
+  } catch (const std::system_error& e) {
+    std::fprintf(stderr, "detcol: I/O error: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "detcol: unexpected error: %s\n", e.what());

@@ -1,0 +1,92 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+
+namespace detcol {
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// True when `path` exists and is not a regular file (device node, fifo,
+/// socket, ...). Renaming over such a target would replace the node itself
+/// — /dev/null would become a regular file — so those are written in place.
+bool non_regular_target(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return false;  // absent: regular flow
+  return !S_ISREG(st.st_mode);
+}
+
+void checked_stream_write(const std::string& path, std::string_view bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DC_CHECK(os.good(), "cannot open ", path, " for writing: ", errno_text());
+  DC_FAILPOINT("atomic.write.body");
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  DC_CHECK(os.good(), "write to ", path, " failed: ", errno_text());
+}
+
+void fsync_file(const std::string& path) {
+  DC_FAILPOINT("atomic.fsync");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  DC_CHECK(fd >= 0, "cannot reopen ", path, " for fsync: ", errno_text());
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  DC_CHECK(rc == 0, "fsync of ", path, " failed: ", errno_text());
+}
+
+/// Best-effort: persist the rename itself. Some filesystems reject
+/// directory fsync; the file content is already durable either way.
+void fsync_parent_dir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const char* name = dir.empty() ? "." : dir.c_str();
+  const int fd = ::open(name, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  if (non_regular_target(path)) {
+    checked_stream_write(path, bytes);
+    return;
+  }
+  std::string tmp = path;
+  tmp += ".tmp";
+  try {
+    checked_stream_write(tmp, bytes);
+    fsync_file(tmp);
+    DC_FAILPOINT("atomic.rename");
+    DC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0, "rename ", tmp,
+             " -> ", path, " failed: ", errno_text());
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  fsync_parent_dir(path);
+}
+
+void atomic_write_stream(const std::string& path,
+                         FunctionRef<void(std::ostream&)> fn) {
+  std::ostringstream os;
+  fn(os);
+  DC_CHECK(os.good(), "rendering output for ", path, " failed");
+  atomic_write_file(path, std::move(os).str());
+}
+
+}  // namespace detcol

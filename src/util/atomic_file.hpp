@@ -1,0 +1,44 @@
+// Crash-safe durable file writes: temp file + fsync + rename.
+//
+// Every writer in the tree funnels through this module (a CI lint enforces
+// that no raw std::ofstream write exists outside it), which yields one
+// durability guarantee everywhere: at every instant, `path` is either the
+// complete old content or the complete new content — never a torn or
+// truncated artifact. A crash, kill, or injected ENOSPC mid-write leaves
+// the previous file intact and no stray `path.tmp` behind (the temp file is
+// unlinked on every failure path).
+//
+// Protocol: write `path + ".tmp"` with stream-state checks after the flush,
+// fsync the temp file, rename() it over `path` (atomic on POSIX), then
+// fsync the containing directory (best-effort) so the rename itself
+// survives a power cut.
+//
+// Non-regular targets (/dev/null, pipes, ttys) are written directly with
+// the same stream-state checking: renaming over a device node would
+// replace the node itself.
+//
+// Failpoints (util/failpoint.hpp): "atomic.write.body", "atomic.fsync",
+// "atomic.rename" — one per protocol step, for fault-injection tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "util/function_ref.hpp"
+
+namespace detcol {
+
+/// Durably replace `path` with `bytes`. Throws CheckError (open/stream
+/// failures, message names the path and errno) or std::system_error
+/// (injected I/O faults); on any throw the target is untouched and the
+/// temp file removed.
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// Stream-writer variant: `fn` renders into an in-memory stream, then the
+/// bytes go through atomic_write_file. Writers keep their `(std::ostream&)`
+/// shape; durability is this module's job.
+void atomic_write_stream(const std::string& path,
+                         FunctionRef<void(std::ostream&)> fn);
+
+}  // namespace detcol

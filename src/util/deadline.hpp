@@ -1,0 +1,56 @@
+// Cooperative wall-clock budgets.
+//
+// A Deadline is a value: default-constructed it is unlimited, armed via
+// after_seconds() it expires once the steady clock passes the budget. The
+// drivers never preempt work — they poll expired() at coarse, safe points
+// (recursion entries, phase loops) and unwind by throwing DeadlineExceeded,
+// so a timed-out pipeline leaves no half-mutated shared state behind: the
+// exception propagates through the same fork/join joins as any other
+// failure (TaskGroup rethrows the first task error).
+//
+// The deadline travels on ExecContext (exec/exec.hpp) so every pipeline
+// that already takes an exec token inherits timeout support for free.
+#pragma once
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace detcol {
+
+/// Thrown by a cooperative deadline check once the budget is exhausted.
+/// Distinct from CheckError: a timeout is not bad data or a broken
+/// invariant — callers (the suite runner) record it as its own outcome
+/// class instead of folding it into the data-error path.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Wall-clock budget as a copyable value. Default-constructed = unlimited.
+class Deadline {
+ public:
+  constexpr Deadline() = default;
+
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool unlimited() const { return !armed_; }
+
+  bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace detcol

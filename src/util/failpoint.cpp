@@ -1,0 +1,147 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <system_error>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/deadline.hpp"
+
+namespace detcol {
+
+namespace failpoint_detail {
+
+bool g_enabled = false;
+
+namespace {
+
+enum class Action { kIo, kOom, kCheck, kTimeout, kKill };
+
+/// One armed entry. The hit counter is atomic (sites run inside pool
+/// tasks); everything else is fixed after arming. unique_ptr because
+/// std::atomic is immovable and the registry is a vector.
+struct Armed {
+  std::string name;
+  std::uint64_t fire_at = 1;  // 1-based hit index that fires
+  Action action = Action::kIo;
+  std::atomic<std::uint64_t> hits{0};
+};
+
+std::vector<std::unique_ptr<Armed>>& registry() {
+  static std::vector<std::unique_ptr<Armed>> r;
+  return r;
+}
+
+[[noreturn]] void fire(const Armed& a) {
+  switch (a.action) {
+    case Action::kIo:
+      throw std::system_error(
+          std::make_error_code(std::errc::no_space_on_device),
+          "failpoint '" + a.name + "' injected I/O failure");
+    case Action::kOom:
+      throw std::bad_alloc{};
+    case Action::kCheck:
+      throw CheckError("failpoint '" + a.name + "' injected CheckError");
+    case Action::kTimeout:
+      throw DeadlineExceeded("failpoint '" + a.name +
+                             "' injected deadline expiry");
+    case Action::kKill:
+      // Simulated SIGKILL: no unwinding, no stream flushes, no atexit —
+      // exactly what the crash-safety tests need to interrupt a run
+      // between two durable checkpoints.
+      std::_Exit(137);
+  }
+  std::abort();  // unreachable
+}
+
+bool parse_action(const std::string& text, Action* out) {
+  if (text == "io") *out = Action::kIo;
+  else if (text == "oom") *out = Action::kOom;
+  else if (text == "check") *out = Action::kCheck;
+  else if (text == "timeout") *out = Action::kTimeout;
+  else if (text == "kill") *out = Action::kKill;
+  else return false;
+  return true;
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+void fire_if_armed(const char* name) {
+  // A name may be armed more than once ("suite.cell@2:timeout,
+  // suite.cell@4:check"): every matching entry counts this hit, then the
+  // first entry whose turn it is fires.
+  const Armed* to_fire = nullptr;
+  for (const auto& a : registry()) {
+    if (a->name != name) continue;
+    const std::uint64_t hit =
+        a->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (hit == a->fire_at && to_fire == nullptr) to_fire = a.get();
+  }
+  if (to_fire != nullptr) fire(*to_fire);
+}
+
+}  // namespace failpoint_detail
+
+bool arm_failpoints(const std::string& spec, std::string* error) {
+  using failpoint_detail::Action;
+  using failpoint_detail::Armed;
+  std::vector<std::unique_ptr<Armed>> parsed;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(at, comma - at);
+    at = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t sep = entry.find('@');
+    if (sep == std::string::npos || sep == 0) {
+      return failpoint_detail::set_error(
+          error, "expected NAME@K[:ACTION], got '" + entry + "'");
+    }
+    auto armed = std::make_unique<Armed>();
+    armed->name = entry.substr(0, sep);
+    std::string count = entry.substr(sep + 1);
+    const std::size_t colon = count.find(':');
+    if (colon != std::string::npos) {
+      const std::string action = count.substr(colon + 1);
+      count.resize(colon);
+      if (!failpoint_detail::parse_action(action, &armed->action)) {
+        return failpoint_detail::set_error(
+            error, "unknown action '" + action +
+                       "' (io, oom, check, timeout, kill) in '" + entry + "'");
+      }
+    }
+    const bool digits =
+        !count.empty() &&
+        count.find_first_not_of("0123456789") == std::string::npos;
+    char* end = nullptr;
+    const unsigned long long k =
+        digits ? std::strtoull(count.c_str(), &end, 10) : 0;
+    if (!digits || *end != '\0' || k == 0) {
+      return failpoint_detail::set_error(
+          error, "hit index must be a positive integer in '" + entry + "'");
+    }
+    armed->fire_at = k;
+    parsed.push_back(std::move(armed));
+  }
+  failpoint_detail::registry() = std::move(parsed);
+  failpoint_detail::g_enabled = !failpoint_detail::registry().empty();
+  return true;
+}
+
+std::uint64_t failpoint_hits(const std::string& name) {
+  for (const auto& a : failpoint_detail::registry()) {
+    if (a->name == name) return a->hits.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+}  // namespace detcol

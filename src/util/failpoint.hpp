@@ -1,0 +1,74 @@
+// Deterministic named failpoints — the derandomization discipline applied
+// to failures: the same spec always fails the same site on the same hit, so
+// every error path in the tree is reproducible and testable.
+//
+// A failpoint is a named site:
+//
+//   DC_FAILPOINT("dcg.write.body");
+//
+// Unarmed, the macro costs one branch on a global bool (define
+// DETCOL_DISABLE_FAILPOINTS to compile every site to literally nothing).
+// Armed via
+//
+//   DETCOL_FAILPOINTS=name@k[:action],...        (environment)
+//   detcol <cmd> --failpoints=name@k[:action],...  (flag, wins over env)
+//
+// the site throws on exactly its k-th execution (1-based, counted across
+// the whole process). Actions:
+//
+//   io      std::system_error(ENOSPC)  — simulated disk-full (default)
+//   oom     std::bad_alloc             — simulated allocation failure
+//   check   CheckError                 — simulated invariant/data failure
+//   timeout DeadlineExceeded           — simulated budget expiry
+//   kill    std::_Exit(137)            — simulated SIGKILL (no unwinding,
+//                                        no flushes: crash-safety tests)
+//
+// Site naming scheme: <layer>.<operation>[.<detail>], e.g. "dcg.write.body",
+// "color_reduce.recurse", "suite.checkpoint" (docs/ARCHITECTURE.md,
+// "Failure model & fault injection" lists every site).
+//
+// Counting is atomic, so sites inside pool tasks are safe to instrument;
+// for a deterministic k-th hit under parallel recursion, arm the run with
+// --threads=1 (hit order equals the sequential schedule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace detcol {
+
+namespace failpoint_detail {
+
+/// True iff any failpoint is armed. Read on every DC_FAILPOINT; written
+/// only by arm_failpoints (before threaded work starts).
+extern bool g_enabled;
+
+/// Slow path: looks `name` up in the armed registry and fires its action
+/// when this hit is the armed one. Called only when g_enabled.
+void fire_if_armed(const char* name);
+
+}  // namespace failpoint_detail
+
+/// Replace the armed set with the parsed `spec` ("name@k[:action],...";
+/// empty disarms everything). Returns false and sets *error (when non-null)
+/// on a malformed spec, leaving the previous arming untouched. Not
+/// thread-safe — arm before spawning workers (the CLI arms in main, tests
+/// arm in their bodies).
+bool arm_failpoints(const std::string& spec, std::string* error);
+
+/// Number of times the named site has been executed since arming (0 when
+/// the name is not armed). Test observability only.
+std::uint64_t failpoint_hits(const std::string& name);
+
+}  // namespace detcol
+
+#if defined(DETCOL_DISABLE_FAILPOINTS)
+#define DC_FAILPOINT(name) ((void)0)
+#else
+#define DC_FAILPOINT(name)                               \
+  do {                                                   \
+    if (::detcol::failpoint_detail::g_enabled) {         \
+      ::detcol::failpoint_detail::fire_if_armed(name);   \
+    }                                                    \
+  } while (0)
+#endif

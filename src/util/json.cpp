@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
@@ -130,6 +132,14 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  DC_CHECK(!json.empty(), "raw JSON value must be non-empty");
+  maybe_comma();
+  expecting_value_ = false;
+  out_.append(json.data(), json.size());
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(bool v) {
   maybe_comma();
   expecting_value_ = false;
@@ -140,6 +150,223 @@ JsonWriter& JsonWriter::value(bool v) {
 std::string JsonWriter::str() const {
   DC_CHECK(stack_.empty(), "unclosed JSON scopes");
   return out_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent JSON reader. Strict except where our own writer never
+/// goes (no NaN/Infinity, no comments); a depth cap bounds recursion on
+/// adversarial input.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, const std::string& what)
+      : text_(text), what_(what) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    DC_CHECK(at_ == text_.size(), what_, ": trailing content at byte ", at_);
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw CheckError(what_ + ": " + message + " at byte " +
+                     std::to_string(at_));
+  }
+
+  void skip_ws() {
+    while (at_ < text_.size()) {
+      const char c = text_[at_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++at_;
+    }
+  }
+
+  char peek() const {
+    if (at_ >= text_.size()) fail("unexpected end of input");
+    return text_[at_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++at_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(at_, lit.size()) != lit) return false;
+    at_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    JsonValue v;
+    v.raw_begin = at_;
+    const char c = peek();
+    switch (c) {
+      case '{': parse_object(&v, depth); break;
+      case '[': parse_array(&v, depth); break;
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string_value = parse_string();
+        break;
+      case 't':
+      case 'f':
+        v.kind = JsonValue::Kind::kBool;
+        if (consume_literal("true")) v.bool_value = true;
+        else if (consume_literal("false")) v.bool_value = false;
+        else fail("invalid literal");
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kNull;
+        break;
+      default:
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = parse_number();
+    }
+    v.raw_end = at_;
+    return v;
+  }
+
+  void parse_object(JsonValue* v, int depth) {
+    v->kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++at_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v->members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++at_;
+      if (c == '}') return;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  void parse_array(JsonValue* v, int depth) {
+    v->kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++at_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      v->items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++at_;
+      if (c == ']') return;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++at_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++at_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  /// \uXXXX, decoded to UTF-8. Surrogate pairs are not recombined (our
+  /// writer never emits them: only \u00XX control codes).
+  std::string parse_unicode_escape() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++at_;
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  double parse_number() {
+    const std::size_t start = at_;
+    if (at_ < text_.size() && text_[at_] == '-') ++at_;
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) != 0 ||
+            text_[at_] == '.' || text_[at_] == 'e' || text_[at_] == 'E' ||
+            text_[at_] == '+' || text_[at_] == '-')) {
+      ++at_;
+    }
+    const std::string token(text_.substr(start, at_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      at_ = start;
+      fail("invalid number");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::string what_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, const std::string& what) {
+  return JsonParser(text, what).parse_document();
 }
 
 }  // namespace detcol

@@ -1,9 +1,11 @@
-// Minimal JSON writer — enough to export run statistics for downstream
-// plotting/analysis without external dependencies.
+// Minimal JSON writer + reader — enough to export run statistics and to
+// reload our own reports (suite --resume) without external dependencies.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace detcol {
@@ -31,6 +33,11 @@ class JsonWriter {
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
 
+  /// Append `json` verbatim where a value is due. The caller vouches that
+  /// it is one complete JSON value — used to re-emit elements of a resumed
+  /// report byte-identically (see JsonValue::raw_begin/raw_end).
+  JsonWriter& raw(std::string_view json);
+
   /// Finished document (validates that all scopes are closed).
   std::string str() const;
 
@@ -44,5 +51,31 @@ class JsonWriter {
   bool expecting_value_ = false;  // a key was just written
   std::string out_;
 };
+
+/// Parsed JSON value. Besides the decoded content, every value records the
+/// byte span [raw_begin, raw_end) it occupied in the parsed text, so a
+/// caller holding the original document can re-emit any sub-value
+/// byte-identically (the suite runner's --resume does this for completed
+/// cells: re-rendering would be lossy for floating-point fields).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;        // kNumber
+  std::string string_value;   // kString (unescaped)
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject, in order
+  std::size_t raw_begin = 0;
+  std::size_t raw_end = 0;
+
+  /// Member lookup (objects only); nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Recursive-descent parse of one complete JSON document (trailing
+/// whitespace allowed, trailing content rejected). `what` names the source
+/// in diagnostics. Throws CheckError on malformed input.
+JsonValue parse_json(std::string_view text, const std::string& what);
 
 }  // namespace detcol

@@ -1,0 +1,292 @@
+// Unit tests for the robustness toolkit: deterministic failpoints
+// (util/failpoint.hpp), crash-safe writes (util/atomic_file.hpp), JSON
+// reading with raw spans (util/json.hpp), and cooperative deadlines
+// (util/deadline.hpp + ExecContext). The end-to-end fault-injection tests
+// that drive the detcol binary live in test_fault_injection.cpp.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <thread>
+
+#include "exec/exec.hpp"
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+#include "util/deadline.hpp"
+#include "util/failpoint.hpp"
+#include "util/json.hpp"
+
+namespace detcol {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Each test disarms on exit so suites do not leak armed failpoints into one
+// another (the registry is process-global).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ASSERT_TRUE(arm_failpoints("", nullptr)); }
+};
+
+TEST_F(FailpointTest, unarmed_site_is_a_no_op) {
+  for (int i = 0; i < 3; ++i) DC_FAILPOINT("test.nowhere");
+  EXPECT_EQ(failpoint_hits("test.nowhere"), 0u);
+}
+
+TEST_F(FailpointTest, fires_on_exactly_the_kth_hit) {
+  ASSERT_TRUE(arm_failpoints("test.site@3", nullptr));
+  DC_FAILPOINT("test.site");
+  DC_FAILPOINT("test.site");
+  EXPECT_THROW(DC_FAILPOINT("test.site"), std::system_error);
+  // Subsequent hits pass again: one-shot semantics.
+  DC_FAILPOINT("test.site");
+  EXPECT_EQ(failpoint_hits("test.site"), 4u);
+}
+
+TEST_F(FailpointTest, actions_map_to_exception_types) {
+  ASSERT_TRUE(arm_failpoints("a@1:io,b@1:oom,c@1:check,d@1:timeout", nullptr));
+  EXPECT_THROW(DC_FAILPOINT("a"), std::system_error);
+  EXPECT_THROW(DC_FAILPOINT("b"), std::bad_alloc);
+  EXPECT_THROW(DC_FAILPOINT("c"), CheckError);
+  EXPECT_THROW(DC_FAILPOINT("d"), DeadlineExceeded);
+}
+
+TEST_F(FailpointTest, io_action_reports_enospc_and_names_the_site) {
+  ASSERT_TRUE(arm_failpoints("disk.full@1:io", nullptr));
+  try {
+    DC_FAILPOINT("disk.full");
+    FAIL() << "failpoint did not fire";
+  } catch (const std::system_error& e) {
+    EXPECT_EQ(e.code(), std::errc::no_space_on_device);
+    EXPECT_NE(std::string(e.what()).find("disk.full"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, same_name_armed_twice_fires_both_entries) {
+  ASSERT_TRUE(arm_failpoints("test.site@2:timeout,test.site@4:check",
+                             nullptr));
+  DC_FAILPOINT("test.site");
+  EXPECT_THROW(DC_FAILPOINT("test.site"), DeadlineExceeded);
+  DC_FAILPOINT("test.site");
+  EXPECT_THROW(DC_FAILPOINT("test.site"), CheckError);
+  DC_FAILPOINT("test.site");
+}
+
+TEST_F(FailpointTest, unlisted_names_do_not_fire) {
+  ASSERT_TRUE(arm_failpoints("test.armed@1", nullptr));
+  DC_FAILPOINT("test.other");  // must not throw
+  EXPECT_EQ(failpoint_hits("test.other"), 0u);
+}
+
+TEST_F(FailpointTest, empty_spec_disarms) {
+  ASSERT_TRUE(arm_failpoints("test.site@1", nullptr));
+  ASSERT_TRUE(arm_failpoints("", nullptr));
+  DC_FAILPOINT("test.site");  // must not throw
+}
+
+TEST_F(FailpointTest, malformed_specs_are_rejected_with_a_message) {
+  for (const char* bad :
+       {"noat", "@3", "x@", "x@0", "x@abc", "x@2:frobnicate", "x@-1"}) {
+    std::string error;
+    EXPECT_FALSE(arm_failpoints(bad, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST_F(FailpointTest, parse_failure_leaves_previous_arming_untouched) {
+  ASSERT_TRUE(arm_failpoints("test.site@1:check", nullptr));
+  EXPECT_FALSE(arm_failpoints("x@0", nullptr));
+  EXPECT_THROW(DC_FAILPOINT("test.site"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// atomic_write_file / atomic_write_stream
+// ---------------------------------------------------------------------------
+
+class AtomicFileTest : public FailpointTest {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("detcol_atomic_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    FailpointTest::TearDown();
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string read_all(const std::string& p) {
+    std::ifstream is(p, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return std::move(os).str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, creates_and_replaces) {
+  const std::string p = path("out.txt");
+  atomic_write_file(p, "first");
+  EXPECT_EQ(read_all(p), "first");
+  atomic_write_file(p, "second");
+  EXPECT_EQ(read_all(p), "second");
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, injected_failure_preserves_old_content_and_no_tmp) {
+  const std::string p = path("out.txt");
+  atomic_write_file(p, "old");
+  for (const char* site :
+       {"atomic.write.body@1", "atomic.fsync@1", "atomic.rename@1"}) {
+    ASSERT_TRUE(arm_failpoints(site, nullptr));
+    EXPECT_THROW(atomic_write_file(p, "new"), std::system_error) << site;
+    EXPECT_EQ(read_all(p), "old") << site;
+    EXPECT_FALSE(fs::exists(p + ".tmp")) << site;
+  }
+}
+
+TEST_F(AtomicFileTest, stream_variant_round_trips) {
+  const std::string p = path("out.txt");
+  atomic_write_stream(p, [](std::ostream& os) { os << "line " << 42 << '\n'; });
+  EXPECT_EQ(read_all(p), "line 42\n");
+}
+
+TEST_F(AtomicFileTest, dev_null_stays_a_device_node) {
+  atomic_write_file("/dev/null", "discarded");
+  EXPECT_FALSE(fs::is_regular_file("/dev/null"));
+  EXPECT_FALSE(fs::exists("/dev/null.tmp"));
+}
+
+TEST_F(AtomicFileTest, unwritable_directory_names_path_and_reason) {
+  try {
+    atomic_write_file(path("no/such/dir/out.txt"), "x");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no/such/dir/out.txt"), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file or directory"), std::string::npos)
+        << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader + raw spans
+// ---------------------------------------------------------------------------
+
+TEST(JsonReadTest, parses_scalars_arrays_objects) {
+  const std::string doc =
+      R"({"a":1,"b":-2.5,"c":"hi\n","d":[true,false,null],"e":{"f":1e3}})";
+  const JsonValue v = parse_json(doc, "doc");
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.find("a")->number, 1.0);
+  EXPECT_EQ(v.find("b")->number, -2.5);
+  EXPECT_EQ(v.find("c")->string_value, "hi\n");
+  ASSERT_EQ(v.find("d")->items.size(), 3u);
+  EXPECT_TRUE(v.find("d")->items[0].bool_value);
+  EXPECT_EQ(v.find("d")->items[2].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.find("e")->find("f")->number, 1000.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReadTest, raw_spans_reproduce_the_source_bytes) {
+  const std::string doc = R"({"cells":[{"x":0.333333},{"y":[1,2]}],"n":7})";
+  const JsonValue v = parse_json(doc, "doc");
+  const JsonValue& cells = *v.find("cells");
+  const auto raw = [&](const JsonValue& j) {
+    return doc.substr(j.raw_begin, j.raw_end - j.raw_begin);
+  };
+  EXPECT_EQ(raw(v), doc);
+  EXPECT_EQ(raw(cells.items[0]), R"({"x":0.333333})");
+  EXPECT_EQ(raw(cells.items[1]), R"({"y":[1,2]})");
+  EXPECT_EQ(raw(*v.find("n")), "7");
+}
+
+TEST(JsonReadTest, writer_raw_splices_a_value_verbatim) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("kept").raw(R"({"wall_seconds":0.123456789})");
+  w.key("fresh").value(1);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"kept":{"wall_seconds":0.123456789},"fresh":1})");
+}
+
+TEST(JsonReadTest, writer_output_round_trips_byte_identically) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\n");
+  w.key("xs").begin_array().value(1).value(2.5).value(true).end_array();
+  w.end_object();
+  const std::string doc = w.str();
+  const JsonValue v = parse_json(doc, "doc");
+  EXPECT_EQ(doc.substr(v.raw_begin, v.raw_end - v.raw_begin), doc);
+  EXPECT_EQ(v.find("s")->string_value, "a\"b\\c\n");
+}
+
+TEST(JsonReadTest, rejects_malformed_documents) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{\"a\":1}x", "tru",
+                          "{\"a\" 1}", "\"unterminated", "01x"}) {
+    EXPECT_THROW(parse_json(bad, "bad"), CheckError) << bad;
+  }
+}
+
+TEST(JsonReadTest, depth_limit_bounds_recursion) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW(parse_json(deep, "deep"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline + ExecContext
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, default_is_unlimited_and_never_expires) {
+  const Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  ExecContext exec;
+  exec.check_deadline("test");  // no deadline attached: no-op
+}
+
+TEST(DeadlineTest, expires_after_budget) {
+  const Deadline d = Deadline::after_seconds(0.0);
+  EXPECT_FALSE(d.unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, check_deadline_throws_and_names_the_driver) {
+  const Deadline d = Deadline::after_seconds(0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ExecContext exec;
+  exec.set_deadline(&d);
+  try {
+    exec.check_deadline("color-reduce");
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("color-reduce"), std::string::npos);
+  }
+}
+
+TEST(DeadlineTest, generous_budget_does_not_fire) {
+  const Deadline d = Deadline::after_seconds(3600.0);
+  ExecContext exec;
+  exec.set_deadline(&d);
+  exec.check_deadline("test");
+}
+
+}  // namespace
+}  // namespace detcol
