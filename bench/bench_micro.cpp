@@ -3,15 +3,33 @@
 // induced-subgraph construction, and the local greedy. These bound the
 // wall-clock cost per seed evaluation, which is what makes the threshold
 // scan / MCE search affordable.
+//
+// Invoked with --simd-json=FILE the binary skips google-benchmark entirely
+// and runs the scalar-vs-SIMD A/B of the four dispatched field-kernel
+// passes (hashing/simd_kernels.hpp), writing per-pass throughput and
+// speedups to FILE — the committed BENCH_simd.json baseline (see
+// docs/BENCHMARKS.md for the regeneration procedure).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/classify.hpp"
 #include "graph/coloring.hpp"
 #include "graph/generators.hpp"
 #include "hashing/field.hpp"
 #include "hashing/kwise.hpp"
+#include "hashing/simd_kernels.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace detcol;
 
@@ -92,4 +110,252 @@ BENCHMARK(BM_GreedyColor)->Arg(1000)->Arg(8000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------------
+// --simd-json=FILE: scalar vs. SIMD A/B of the dispatched field kernels.
+//
+// Times the four passes behind the FieldKernel table on the workload shapes
+// the engines actually run them at (n = 2^14 points, c = 8 polynomial rows,
+// bins range << 2^32), under every kernel this build + host can select.
+// Outputs are checksummed and DC_CHECKed identical across kernels — the A/B
+// doubles as a bit-identity smoke on the real buffer sizes. `ns_per_point`
+// is wall time divided by (reps * n): one "point" is one element of one
+// pass invocation, so mul_add_rows/power_table/horner each do `rows`
+// multiply-adds per point.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct KernelData {
+  std::size_t n = 0;
+  unsigned rows = 0;
+  std::vector<std::uint64_t> points;              // raw 64-bit words
+  std::vector<std::vector<std::uint64_t>> table;  // rows x n, canonical
+  std::vector<const std::uint64_t*> row_ptrs;
+  std::vector<std::uint64_t> deltas;  // canonical coefficient diffs
+  std::vector<std::uint64_t> vals;    // u64 scratch
+  std::vector<std::uint64_t> work;    // u64 scratch
+  std::vector<std::uint32_t> bins;    // u32 scratch
+  std::vector<std::vector<std::uint64_t>> out_table;  // power-table scratch
+};
+
+KernelData make_kernel_data(std::size_t n, unsigned rows) {
+  KernelData d;
+  d.n = n;
+  d.rows = rows;
+  Xoshiro256 rng(0x51D0);
+  d.points.resize(n);
+  for (auto& p : d.points) p = rng.next();
+  d.table.assign(rows, std::vector<std::uint64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = m61_reduce(d.points[i]);
+    d.table[0][i] = x;
+    for (unsigned r = 1; r < rows; ++r) {
+      d.table[r][i] = m61_mul(d.table[r - 1][i], x);
+    }
+  }
+  for (const auto& row : d.table) d.row_ptrs.push_back(row.data());
+  d.deltas.resize(rows);
+  for (auto& dd : d.deltas) dd = m61_reduce(rng.next());
+  d.vals.resize(n);
+  d.work.resize(n);
+  d.bins.resize(n);
+  d.out_table.assign(rows, std::vector<std::uint64_t>(n));
+  return d;
+}
+
+std::uint64_t fnv_words(std::uint64_t h, const std::uint64_t* p,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ p[i]) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+PassResult run_mul_add_rows(const FieldKernel& k, KernelData& d,
+                            unsigned reps) {
+  std::copy(d.table[0].begin(), d.table[0].end(), d.vals.begin());
+  WallTimer t;
+  for (unsigned r = 0; r < reps; ++r) {
+    k.mul_add_rows(d.vals.data(), d.row_ptrs.data(), d.deltas.data(), d.rows,
+                   0, d.n);
+  }
+  PassResult res;
+  res.seconds = t.seconds();
+  res.checksum = fnv_words(0xcbf29ce484222325ULL, d.vals.data(), d.n);
+  return res;
+}
+
+PassResult run_power_table(const FieldKernel& k, KernelData& d,
+                           unsigned reps) {
+  // The BatchKWiseEval constructor's table build: x^1 by canonicalizing the
+  // raw points, then each higher row as prev-row * x^1.
+  WallTimer t;
+  for (unsigned r = 0; r < reps; ++r) {
+    k.reduce_row(d.out_table[0].data(), d.points.data(), 0, d.n);
+    for (unsigned row = 1; row < d.rows; ++row) {
+      k.mul_rows(d.out_table[row].data(), d.out_table[row - 1].data(),
+                 d.out_table[0].data(), 0, d.n);
+    }
+  }
+  PassResult res;
+  res.seconds = t.seconds();
+  res.checksum = 0xcbf29ce484222325ULL;
+  for (const auto& row : d.out_table) {
+    res.checksum = fnv_words(res.checksum, row.data(), d.n);
+  }
+  return res;
+}
+
+PassResult run_to_bins(const FieldKernel& k, KernelData& d, unsigned reps) {
+  WallTimer t;
+  for (unsigned r = 0; r < reps; ++r) {
+    k.to_bins(d.bins.data(), d.table[1].data(), /*range=*/509, /*offset=*/1,
+              0, d.n);
+  }
+  PassResult res;
+  res.seconds = t.seconds();
+  res.checksum = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < d.n; ++i) {
+    res.checksum = (res.checksum ^ d.bins[i]) * 0x100000001B3ULL;
+  }
+  return res;
+}
+
+PassResult run_horner(const FieldKernel& k, KernelData& d, unsigned reps) {
+  // The bulk KWiseHash::field_eval path: canonicalize the points, then a
+  // degree-(rows-1) Horner chain of fma_const steps.
+  WallTimer t;
+  for (unsigned r = 0; r < reps; ++r) {
+    k.reduce_row(d.work.data(), d.points.data(), 0, d.n);
+    std::fill(d.vals.begin(), d.vals.end(), d.deltas[0]);
+    for (unsigned j = 1; j < d.rows; ++j) {
+      k.fma_const(d.vals.data(), d.work.data(), d.deltas[j], 0, d.n);
+    }
+  }
+  PassResult res;
+  res.seconds = t.seconds();
+  res.checksum = fnv_words(0xcbf29ce484222325ULL, d.vals.data(), d.n);
+  return res;
+}
+
+int run_simd_ab(const std::string& json_path) {
+  const std::size_t n = std::size_t{1} << 14;
+  const unsigned rows = 8;
+  const unsigned reps = 512;
+
+  std::vector<std::string> kernels{"scalar"};
+  if (simd_available(SimdKind::kAvx2)) kernels.push_back("avx2");
+  if (simd_available(SimdKind::kNeon)) kernels.push_back("neon");
+
+  struct Pass {
+    const char* name;
+    PassResult (*fn)(const FieldKernel&, KernelData&, unsigned);
+  };
+  const Pass passes[] = {
+      {"mul_add_rows", run_mul_add_rows},
+      {"power_table", run_power_table},
+      {"to_bins", run_to_bins},
+      {"horner", run_horner},
+  };
+
+  KernelData data = make_kernel_data(n, rows);
+  struct Run {
+    std::string kernel;
+    double seconds = 0.0;
+    double ns_per_point = 0.0;
+    double speedup = 1.0;
+  };
+  Table tbl({"pass", "kernel", "ns/point", "speedup vs scalar"});
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("simd_kernels");
+  w.key("n").value(std::uint64_t{n});
+  w.key("rows").value(rows);
+  w.key("reps").value(reps);
+  w.key("host_cpus").value(std::uint64_t{std::thread::hardware_concurrency()});
+  w.key("auto_kernel").value(simd_kind_name(simd_auto_kind()));
+  w.key("kernels").begin_array();
+  for (const auto& kname : kernels) w.value(kname);
+  w.end_array();
+  w.key("passes").begin_array();
+
+  std::string error;
+  for (const Pass& pass : passes) {
+    std::vector<Run> runs;
+    std::uint64_t scalar_checksum = 0;
+    for (const std::string& kname : kernels) {
+      DC_CHECK(select_simd(kname, &error), error);
+      const FieldKernel& k = active_field_kernel();
+      pass.fn(k, data, 8);  // warm caches / page in tables
+      const PassResult r = pass.fn(k, data, reps);
+      if (kname == "scalar") {
+        scalar_checksum = r.checksum;
+      } else {
+        DC_CHECK(r.checksum == scalar_checksum, "kernel '", kname,
+                 "' diverged from scalar on pass ", pass.name,
+                 " — bit-identity contract violated");
+      }
+      Run run;
+      run.kernel = kname;
+      run.seconds = r.seconds;
+      run.ns_per_point =
+          1e9 * r.seconds / (static_cast<double>(reps) * static_cast<double>(n));
+      run.speedup = runs.empty() ? 1.0 : runs.front().seconds / r.seconds;
+      runs.push_back(run);
+    }
+    w.begin_object();
+    w.key("pass").value(pass.name);
+    w.key("runs").begin_array();
+    for (const Run& run : runs) {
+      w.begin_object();
+      w.key("kernel").value(run.kernel);
+      w.key("seconds").value(run.seconds);
+      w.key("ns_per_point").value(run.ns_per_point);
+      w.key("speedup").value(run.speedup);
+      w.end_object();
+      tbl.row()
+          .cell(pass.name)
+          .cell(run.kernel)
+          .cell(run.ns_per_point, 2)
+          .cell(run.speedup, 2);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  DC_CHECK(select_simd("auto", &error), error);
+
+  tbl.print("F3s — field-kernel throughput, n=" + std::to_string(n) +
+            ", rows=" + std::to_string(rows) +
+            " (outputs checksummed identical across kernels)");
+  std::ofstream out(json_path);
+  out << w.str() << "\n";
+  DC_CHECK(out.good(), "failed to write ", json_path);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+// BENCHMARK_MAIN(), except --simd-json=FILE diverts into the field-kernel
+// A/B harness before google-benchmark sees the arguments.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--simd-json=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return run_simd_ab(arg.substr(prefix.size()));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -127,11 +127,11 @@ const Classification& classify(const Instance& inst, const PaletteSet& palettes,
   DC_CHECK(h1.range() == b, "h1 range mismatch");
   DC_CHECK(h2.range() == b - 1, "h2 range mismatch");
 
-  // Raw bin assignment: h1 over *original* ids (the paper's domain [N]).
+  // Raw bin assignment: h1 over *original* ids (the paper's domain [N]),
+  // as one bulk pass through the active field kernel.
   scratch.raw_bin.resize(n);
-  for (NodeId v = 0; v < n; ++v) {
-    scratch.raw_bin[v] = static_cast<std::uint32_t>(h1(inst.orig[v])) + 1;
-  }
+  const std::vector<std::uint64_t> pts(inst.orig.begin(), inst.orig.end());
+  h1.eval_bins_many(pts, scratch.raw_bin, /*offset=*/1);
 
   // p'(v) for color-bin nodes: palette colors h2 sends to the node's bin.
   out.pal_in_bin.assign(n, 0);

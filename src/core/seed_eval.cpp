@@ -90,12 +90,7 @@ const Classification& SeedEvalEngine::evaluate(const SeedBits& seed) {
 
   if (h1_changed || !primed_) {
     scratch_.raw_bin.resize(n);
-    parallel_for_shards(exec_, n, [&](std::size_t, std::size_t begin,
-                                      std::size_t end) {
-      for (std::size_t v = begin; v < end; ++v) {
-        scratch_.raw_bin[v] = static_cast<std::uint32_t>(h1_.bin(v)) + 1;
-      }
-    });
+    h1_.bins_into(scratch_.raw_bin, /*offset=*/1, exec_);
     classify_detail::fill_deg_in_bin(inst_.graph, scratch_.raw_bin,
                                      out.deg_in_bin, exec_);
   }
@@ -104,13 +99,7 @@ const Classification& SeedEvalEngine::evaluate(const SeedBits& seed) {
     // h2 once per distinct color (range mapping shards over exec_), plus
     // per-bin color counts for the full-palette fast path (serial: one add
     // per distinct color).
-    parallel_for_shards(exec_, cbin_.size(), [&](std::size_t,
-                                                 std::size_t begin,
-                                                 std::size_t end) {
-      for (std::size_t k = begin; k < end; ++k) {
-        cbin_[k] = static_cast<std::uint32_t>(h2_.bin(k)) + 1;  // 1..b-1
-      }
-    });
+    h2_.bins_into(cbin_, /*offset=*/1, exec_);  // 1..b-1
     colors_in_bin_.assign(b_ - 1, 0);
     for (std::size_t k = 0; k < cbin_.size(); ++k) {
       ++colors_in_bin_[cbin_[k] - 1];

@@ -1,5 +1,6 @@
 #include "core/stats_export.hpp"
 
+#include "hashing/simd_kernels.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
@@ -97,11 +98,13 @@ std::string result_to_json(const ColorReduceResult& result) {
   }
   w.key("num_colored")
       .value(static_cast<std::uint64_t>(result.coloring.num_colored()));
-  // Host-side execution telemetry: thread count and per-depth wall-clock,
-  // so bench trajectories can attribute speedups to recursion levels. Kept
-  // in its own block — everything outside "timing" is bit-identical across
-  // thread counts; timing is wall-clock and inherently is not.
+  // Host-side execution telemetry: thread count, field kernel and per-depth
+  // wall-clock, so bench trajectories can attribute speedups to recursion
+  // levels. "kernel" names the selected field kernel — host-dependent like
+  // "timing", so cross-host bit-compares exclude both; every other block is
+  // bit-identical across thread counts *and* kernels.
   w.key("threads").value(result.threads_used);
+  w.key("kernel").value(active_simd_name());
   w.key("timing").begin_object();
   w.key("wall_seconds").value(result.wall_seconds);
   w.key("per_depth_seconds").begin_array();
@@ -132,6 +135,7 @@ std::string lowspace_result_to_json(const LowSpaceResult& result,
   w.key("peak_total_words").value(result.peak_total_words);
   w.key("num_colored")
       .value(static_cast<std::uint64_t>(result.coloring.num_colored()));
+  w.key("kernel").value(active_simd_name());
   w.key("timing").begin_object();
   w.key("wall_seconds").value(wall_seconds);
   w.end_object();
@@ -153,6 +157,7 @@ std::string mis_result_to_json(const MisBaselineResult& result,
   w.key("seed_evaluations").value(result.seed_evaluations);
   w.key("num_colored")
       .value(static_cast<std::uint64_t>(result.coloring.num_colored()));
+  w.key("kernel").value(active_simd_name());
   w.key("timing").begin_object();
   w.key("wall_seconds").value(wall_seconds);
   w.end_object();

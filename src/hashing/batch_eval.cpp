@@ -6,18 +6,23 @@ namespace detcol {
 
 BatchKWiseEval::BatchKWiseEval(std::span<const std::uint64_t> points,
                                unsigned independence, std::uint64_t range)
-    : c_(independence), range_(range) {
+    : kernel_(&active_field_kernel()), c_(independence), range_(range) {
   DC_CHECK(independence >= 1, "hash needs at least one coefficient");
   DC_CHECK(independence <= 64, "independence beyond 64 is unsupported");
   DC_CHECK(range >= 1, "hash range must be >= 1");
   const std::size_t n = points.size();
   pow_.resize(static_cast<std::size_t>(c_) * n);
   for (std::size_t i = 0; i < n; ++i) pow_[i] = 1;  // x^0
-  for (unsigned j = 1; j < c_; ++j) {
-    const std::uint64_t* prev = pow_.data() + (j - 1) * n;
-    std::uint64_t* row = pow_.data() + static_cast<std::size_t>(j) * n;
-    for (std::size_t i = 0; i < n; ++i) {
-      row[i] = m61_mul(prev[i], m61_reduce(points[i]));
+  if (c_ > 1) {
+    // Row 1 is the reduced points themselves (x^1 = m61_reduce(x), exactly
+    // the m61_mul(1, m61_reduce(x)) the row recurrence would compute); each
+    // later row multiplies the previous one by row 1 element-wise.
+    std::uint64_t* x1 = pow_.data() + n;
+    kernel_->reduce_row(x1, points.data(), 0, n);
+    for (unsigned j = 2; j < c_; ++j) {
+      const std::uint64_t* prev = pow_.data() + (j - 1) * n;
+      std::uint64_t* row = pow_.data() + static_cast<std::size_t>(j) * n;
+      kernel_->mul_rows(row, prev, x1, 0, n);
     }
   }
   cur_words_.assign(c_, 0);
@@ -49,25 +54,21 @@ bool BatchKWiseEval::load(std::span<const std::uint64_t> seed_words,
     ++num_changed;
   }
   if (num_changed == 0) return false;
-  parallel_for_shards(exec, n, [&](std::size_t, std::size_t begin,
-                                   std::size_t end) {
-    if (num_changed == 1) {
-      const std::uint64_t d0 = deltas[0];
-      const std::uint64_t* row = rows[0];
-      for (std::size_t i = begin; i < end; ++i) {
-        vals_[i] = m61_add(vals_[i], m61_mul(d0, row[i]));
-      }
-    } else {
-      for (std::size_t i = begin; i < end; ++i) {
-        std::uint64_t acc = vals_[i];
-        for (unsigned k = 0; k < num_changed; ++k) {
-          acc = m61_add(acc, m61_mul(deltas[k], rows[k][i]));
-        }
-        vals_[i] = acc;
-      }
-    }
-  });
+  parallel_for_shards(
+      exec, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+        kernel_->mul_add_rows(vals_.data(), rows, deltas, num_changed, begin,
+                              end);
+      });
   return true;
+}
+
+void BatchKWiseEval::bins_into(std::span<std::uint32_t> out,
+                               std::uint32_t offset, ExecContext exec) const {
+  DC_CHECK(out.size() == vals_.size(), "bins_into expects one slot per point");
+  parallel_for_shards(
+      exec, vals_.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        kernel_->to_bins(out.data(), vals_.data(), range_, offset, begin, end);
+      });
 }
 
 }  // namespace detcol

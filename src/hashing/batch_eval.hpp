@@ -24,6 +24,7 @@
 
 #include "exec/exec.hpp"
 #include "hashing/field.hpp"
+#include "hashing/simd_kernels.hpp"
 
 namespace detcol {
 
@@ -32,6 +33,11 @@ class BatchKWiseEval {
   /// Build the power table for `points` (arbitrary 64-bit values; reduced
   /// mod p exactly like KWiseHash does) for a degree-(independence-1)
   /// polynomial with the given output `range` (>= 1).
+  ///
+  /// The engine captures the active field kernel (hashing/simd_kernels.hpp)
+  /// here, so all passes of one engine run under one kernel even if the
+  /// selection changes mid-search. Kernels are bit-identical per element, so
+  /// which one is captured never shows in any output.
   BatchKWiseEval(std::span<const std::uint64_t> points, unsigned independence,
                  std::uint64_t range);
 
@@ -56,11 +62,18 @@ class BatchKWiseEval {
     return m61_to_range(vals_[i], range_);
   }
 
+  /// Batched bin pass: out[i] = uint32(bin(i)) + offset for every point
+  /// (out.size() must equal num_points()). Shards over `exec`; each shard
+  /// runs the captured kernel's to_bins, bit-identical to the bin() loop.
+  void bins_into(std::span<std::uint32_t> out, std::uint32_t offset,
+                 ExecContext exec = {}) const;
+
   std::size_t num_points() const { return vals_.size(); }
   unsigned independence() const { return c_; }
   std::uint64_t range() const { return range_; }
 
  private:
+  const FieldKernel* kernel_;
   unsigned c_;
   std::uint64_t range_;
   // pow_[j * n + i] = (point i)^j mod p; row 0 is all ones.

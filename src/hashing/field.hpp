@@ -33,7 +33,11 @@ constexpr std::uint64_t m61_mul(std::uint64_t a, std::uint64_t b) {
       static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
   const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kMersenne61;
   const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
-  // hi < 2^67 / 2^61 * ... : hi can be up to ~2^61, fold once more.
+  // For a, b < 2^62: prod < 2^124, so hi < 2^63 and s = lo + hi < 2^61 +
+  // 2^63 does not overflow; the fold leaves (s & M) + (s >> 61) <= M + 4,
+  // which one conditional subtract canonicalizes. (Canonical inputs < p
+  // give the tighter hi < 2^61, s < 2^62, fold <= M + 1 — the bound the
+  // vector kernels in hashing/simd_kernels.cpp replicate limb by limb.)
   std::uint64_t s = lo + hi;
   s = (s & kMersenne61) + (s >> 61);
   return s >= kMersenne61 ? s - kMersenne61 : s;

@@ -1,6 +1,7 @@
 #include "hashing/kwise.hpp"
 
 #include "hashing/field.hpp"
+#include "hashing/simd_kernels.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -32,6 +33,32 @@ std::uint64_t KWiseHash::field_eval(std::uint64_t x) const {
     acc = m61_add(m61_mul(acc, xr), *it);
   }
   return acc;
+}
+
+void KWiseHash::field_eval_many(std::span<const std::uint64_t> xs,
+                                std::span<std::uint64_t> out) const {
+  DC_CHECK(out.size() == xs.size(), "field_eval_many expects equal spans");
+  const FieldKernel& kernel = active_field_kernel();
+  const std::size_t n = xs.size();
+  // The same Horner recurrence as field_eval, one step over all points at a
+  // time: reduce the points once, start every accumulator at the leading
+  // coefficient, then fold in the remaining coefficients high to low.
+  std::vector<std::uint64_t> xr(n);
+  kernel.reduce_row(xr.data(), xs.data(), 0, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = coeffs_.back();
+  for (auto it = coeffs_.rbegin() + 1; it != coeffs_.rend(); ++it) {
+    kernel.fma_const(out.data(), xr.data(), *it, 0, n);
+  }
+}
+
+void KWiseHash::eval_bins_many(std::span<const std::uint64_t> xs,
+                               std::span<std::uint32_t> out,
+                               std::uint32_t offset) const {
+  DC_CHECK(out.size() == xs.size(), "eval_bins_many expects equal spans");
+  std::vector<std::uint64_t> vals(xs.size());
+  field_eval_many(xs, vals);
+  active_field_kernel().to_bins(out.data(), vals.data(), range_, offset, 0,
+                                vals.size());
 }
 
 std::uint64_t KWiseHash::to_range(std::uint64_t field_value) const {

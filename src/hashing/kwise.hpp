@@ -36,6 +36,17 @@ class KWiseHash {
   /// Raw polynomial evaluation in [0, p).
   std::uint64_t field_eval(std::uint64_t x) const;
 
+  /// Bulk field_eval over many points through the active field kernel
+  /// (hashing/simd_kernels.hpp): out[i] = field_eval(xs[i]), bit-identical
+  /// to the scalar loop under every kernel. out.size() must equal xs.size().
+  void field_eval_many(std::span<const std::uint64_t> xs,
+                       std::span<std::uint64_t> out) const;
+
+  /// Bulk evaluation into bins: out[i] = uint32((*this)(xs[i])) + offset.
+  void eval_bins_many(std::span<const std::uint64_t> xs,
+                      std::span<std::uint32_t> out,
+                      std::uint32_t offset = 0) const;
+
   std::uint64_t to_range(std::uint64_t field_value) const;
 
   unsigned independence() const {

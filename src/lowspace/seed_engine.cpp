@@ -89,12 +89,7 @@ std::uint64_t LowSpaceSeedEngine::violations(const SeedBits& seed) {
 
   const NodeId n = g_.num_nodes();
   if (h1_changed || !primed_) {
-    parallel_for_shards(exec_, n, [&](std::size_t, std::size_t begin,
-                                      std::size_t end) {
-      for (std::size_t v = begin; v < end; ++v) {
-        bin_[v] = static_cast<std::uint32_t>(h1_.bin(v)) + 1;
-      }
-    });
+    h1_.bins_into(bin_, /*offset=*/1, exec_);
     // d'(v) needs every neighbor's bin, so it runs as a second pass after
     // the bin fill's barrier.
     parallel_for_shards(exec_, n, [&](std::size_t, std::size_t begin,
@@ -111,13 +106,7 @@ std::uint64_t LowSpaceSeedEngine::violations(const SeedBits& seed) {
   }
 
   if (h2_changed || !primed_) {
-    parallel_for_shards(exec_, cbin_.size(), [&](std::size_t,
-                                                 std::size_t begin,
-                                                 std::size_t end) {
-      for (std::size_t k = begin; k < end; ++k) {
-        cbin_[k] = static_cast<std::uint32_t>(h2_.bin(k)) + 1;  // 1..b-1
-      }
-    });
+    h2_.bins_into(cbin_, /*offset=*/1, exec_);  // 1..b-1
     colors_in_bin_.assign(b_ - 1, 0);
     for (std::size_t k = 0; k < cbin_.size(); ++k) {
       ++colors_in_bin_[cbin_[k] - 1];
@@ -164,9 +153,10 @@ std::uint64_t lowspace_naive_violations(
     std::vector<char>* good_out) {
   std::uint64_t bad = 0;
   std::vector<std::uint32_t> bin(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    bin[v] = static_cast<std::uint32_t>(h1(orig[v])) + 1;
-  }
+  // Bulk h1 pass through the active field kernel, so the naive/engine
+  // equivalence tests exercise the kernel on both sides of the comparison.
+  const std::vector<std::uint64_t> pts(orig.begin(), orig.end());
+  h1.eval_bins_many(pts, bin, /*offset=*/1);
   if (good_out != nullptr) good_out->assign(g.num_nodes(), 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     std::uint64_t dprime = 0;

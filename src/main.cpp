@@ -52,6 +52,7 @@
 #include "graph/formats.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "hashing/simd_kernels.hpp"
 #include "lowspace/low_space.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
@@ -120,6 +121,15 @@ convert):
                      bit-identical for every N.
                      Default: $DETCOL_THREADS, else 1.
 
+Field kernel (all commands):
+  --simd=KIND        Vector kernel for the F_(2^61-1) field passes: auto
+                     (default: the best this host supports), scalar, avx2,
+                     neon. Also readable from $DETCOL_SIMD; the flag wins.
+                     Naming an ISA the host or build cannot run is a usage
+                     error. Every kernel is bit-identical — forcing one
+                     never changes any output, only throughput. The stats
+                     and suite JSON record the selection as "kernel".
+
 Convert:
   --from=FMT         Input format override: auto (default), edges, dimacs,
                      metis, dcg. Only applies with --input.
@@ -131,13 +141,17 @@ Suite:
                      ('#' comments): "graph NAME FLAGS..." (generator or
                      --input flags, repeatable), "palette FLAGS...",
                      "pipelines NAME..." (reduce, lowspace, mis, trial,
-                     greedy), "threads N...", "seed S" (trial's algorithm
+                     greedy), "threads N...", "kernels NAME..." (field
+                     kernels to force per cell: auto, scalar, avx2, neon;
+                     "auto" resolves to the host's best at parse time and
+                     resolved duplicates collapse; default: the --simd /
+                     $DETCOL_SIMD selection), "seed S" (trial's algorithm
                      seed), "timeout_seconds S" (per-cell wall budget;
                      expired cells report status "timeout"), "timing off"
                      (report wall_seconds as 0 for byte-identical reports).
-                     Runs every {graph x pipeline x threads} cell (greedy
-                     is sequential: one threads=1 cell per graph) and
-                     writes one JSON report to --out. Each cell is
+                     Runs every {graph x pipeline x threads x kernel} cell
+                     (greedy is sequential: one threads=1 cell per graph)
+                     and writes one JSON report to --out. Each cell is
                      isolated: a failing or timed-out cell becomes a
                      structured "error"/"timeout" entry and the rest of
                      the matrix proceeds; an unreadable graph marks only
@@ -334,6 +348,7 @@ void reject_unknown_flags(const ArgParser& args,
                           const std::vector<const char*>& allowed) {
   for (const std::string& name : args.flag_names()) {
     if (name == "failpoints") continue;  // global flag, consumed in run()
+    if (name == "simd") continue;        // global flag, consumed in run()
     const bool known = std::any_of(allowed.begin(), allowed.end(),
                                    [&](const char* a) { return name == a; });
     if (!known) usage_error("unknown flag --" + name);
@@ -356,6 +371,26 @@ void init_failpoints(const ArgParser& args) {
   }
   std::string error;
   if (!arm_failpoints(spec, &error)) {
+    usage_error(src + ": " + error);
+  }
+}
+
+/// Select the field kernel from --simd (wins) or the DETCOL_SIMD environment
+/// variable. A malformed name or an ISA this host cannot run is a bad
+/// invocation (exit 2) — forcing a kernel must never silently fall back.
+void init_simd(const ArgParser& args) {
+  std::string spec;
+  std::string src = "flag --simd";
+  if (args.has("simd")) {
+    spec = get_value_flag(args, "simd", "");
+  } else if (const char* env = std::getenv("DETCOL_SIMD")) {
+    src = "DETCOL_SIMD";
+    spec = env;
+  } else {
+    return;
+  }
+  std::string error;
+  if (!select_simd(spec, &error)) {
     usage_error(src + ": " + error);
   }
 }
@@ -915,6 +950,8 @@ struct SuiteSpec {
   std::string palette_flags;          // empty -> delta1
   std::vector<std::string> pipelines;  // canonical algo names
   std::vector<unsigned> threads{1};
+  std::vector<std::string> kernels;  // resolved kernel names; empty -> the
+                                     // process-active (--simd) selection
   std::uint64_t algo_seed = 1;    // trial's RNG seed
   double timeout_seconds = 0;     // per-cell wall budget; 0 = unlimited
   bool timing = true;             // false: report wall_seconds as 0
@@ -977,6 +1014,35 @@ SuiteSpec parse_suite_spec(const std::string& text, const std::string& what) {
                  kMaxThreads, "], got '", tok, "'");
         spec.threads.push_back(static_cast<unsigned>(t));
       }
+    } else if (directive == "kernels") {
+      DC_CHECK(!rest.empty(), what, ":", line_no,
+               ": 'kernels' needs at least one name");
+      spec.kernels.clear();
+      for (const auto& tok : rest) {
+        // Resolve "auto" to the host's best kernel at parse time, so the
+        // cell key is a concrete kernel name; a name this host cannot run
+        // is a spec (data) error, like an out-of-range thread count.
+        SimdKind kind = SimdKind::kScalar;
+        if (tok == "auto") {
+          kind = simd_auto_kind();
+        } else if (tok == "scalar") {
+          kind = SimdKind::kScalar;
+        } else if (tok == "avx2") {
+          kind = SimdKind::kAvx2;
+        } else if (tok == "neon") {
+          kind = SimdKind::kNeon;
+        } else {
+          DC_CHECK(false, what, ":", line_no, ": unknown kernel '", tok,
+                   "' (auto, scalar, avx2, neon)");
+        }
+        DC_CHECK(simd_available(kind), what, ":", line_no, ": kernel '", tok,
+                 "' is not available on this host/build");
+        const std::string name = simd_kind_name(kind);
+        const bool dup = std::any_of(
+            spec.kernels.begin(), spec.kernels.end(),
+            [&](const std::string& k) { return k == name; });
+        if (!dup) spec.kernels.push_back(name);
+      }
     } else if (directive == "seed") {
       DC_CHECK(rest.size() == 1 && io_detail::parse_u64(rest[0],
                                                         &spec.algo_seed),
@@ -996,8 +1062,8 @@ SuiteSpec parse_suite_spec(const std::string& text, const std::string& what) {
       spec.timing = rest[0] == "on";
     } else {
       DC_CHECK(false, what, ":", line_no, ": unknown directive '", directive,
-               "' (graph, palette, pipelines, threads, seed, timeout_seconds, "
-               "timing)");
+               "' (graph, palette, pipelines, threads, kernels, seed, "
+               "timeout_seconds, timing)");
     }
   }
   DC_CHECK(!spec.graphs.empty(), what, ": spec declares no 'graph' lines");
@@ -1159,12 +1225,14 @@ CellOutcome run_cell_isolated(const GraphSlot& slot,
 /// this).
 std::string render_cell_json(const std::string& graph,
                              const std::string& pipeline, unsigned threads,
-                             const CellOutcome& out, bool timing) {
+                             const std::string& kernel, const CellOutcome& out,
+                             bool timing) {
   JsonWriter w;
   w.begin_object();
   w.key("graph").value(graph);
   w.key("pipeline").value(pipeline);
   w.key("threads").value(threads);
+  w.key("kernel").value(kernel);
   w.key("status").value(out.status);
   if (out.status == "ok") {
     w.key("rounds").value(out.cell.rounds);
@@ -1200,8 +1268,10 @@ int cmd_suite(const ArgParser& args) {
   std::map<std::string, bool> resume_ok;            // key -> status == "ok"
   std::map<std::string, std::string> resume_graphs;  // name -> raw header row
   const auto cell_key = [](const std::string& graph,
-                           const std::string& pipeline, unsigned threads) {
-    return graph + '|' + pipeline + '|' + std::to_string(threads);
+                           const std::string& pipeline, unsigned threads,
+                           const std::string& kernel) {
+    return graph + '|' + pipeline + '|' + std::to_string(threads) + '|' +
+           kernel;
   };
   if (args.has("resume")) {
     const std::string rpath = get_value_flag(args, "resume", "");
@@ -1228,14 +1298,16 @@ int cmd_suite(const ArgParser& args) {
         const JsonValue* graph = row.find("graph");
         const JsonValue* pipeline = row.find("pipeline");
         const JsonValue* threads = row.find("threads");
+        const JsonValue* kernel = row.find("kernel");
         const JsonValue* status = row.find("status");
         DC_CHECK(graph != nullptr && pipeline != nullptr &&
-                     threads != nullptr && status != nullptr,
+                     threads != nullptr && kernel != nullptr &&
+                     status != nullptr,
                  rpath, ": malformed cell entry (needs graph, pipeline, "
-                 "threads, status)");
+                 "threads, kernel, status)");
         const auto key = cell_key(
             graph->string_value, pipeline->string_value,
-            static_cast<unsigned>(threads->number));
+            static_cast<unsigned>(threads->number), kernel->string_value);
         resume_cells[key] = raw_of(row);
         resume_ok[key] = status->string_value == "ok";
       }
@@ -1308,51 +1380,70 @@ int cmd_suite(const ArgParser& args) {
     return w.str();
   };
 
+  // Kernel axis: the spec's resolved 'kernels' list, or the process-active
+  // selection (--simd / $DETCOL_SIMD) when the spec is silent. Every engine
+  // captures the kernel at construction, so selecting per cell is exact.
+  const std::vector<std::string> suite_kernels =
+      spec.kernels.empty() ? std::vector<std::string>{active_simd_name()}
+                           : spec.kernels;
+
   for (GraphSlot& slot : slots) {
     for (const std::string& pipeline : spec.pipelines) {
       // greedy is the sequential centralized baseline: collapse its thread
-      // axis to one cell instead of re-running identical work.
+      // axis to one cell instead of re-running identical work — and its
+      // kernel axis too (it does no field arithmetic at all).
       const std::vector<unsigned> cell_threads =
           pipeline == "greedy" ? std::vector<unsigned>{1} : spec.threads;
+      const std::vector<std::string> cell_kernels =
+          pipeline == "greedy"
+              ? std::vector<std::string>{suite_kernels.front()}
+              : suite_kernels;
       for (const unsigned t : cell_threads) {
-        const std::string key = cell_key(slot.decl.name, pipeline, t);
-        const auto resumed = resume_cells.find(key);
-        if (resumed != resume_cells.end()) {
-          cell_json.push_back(resumed->second);
-          all_ok = all_ok && resume_ok.at(key);
-          continue;
-        }
-        ensure_graph(slot, spec.palette_flags, holders.at(max_threads).exec);
-        const CellOutcome out = run_cell_isolated(
-            slot, pipeline, holders.at(t).exec, spec.algo_seed,
-            spec.timeout_seconds);
-        all_ok = all_ok && out.status == "ok";
-        cell_json.push_back(
-            render_cell_json(slot.decl.name, pipeline, t, out, spec.timing));
-        if (!quiet) {
-          if (out.status == "ok") {
-            std::fprintf(stderr,
-                         "suite: graph=%s pipeline=%s threads=%u -> "
-                         "%zu colors, %llu rounds, %.3fs\n",
-                         slot.decl.name.c_str(), pipeline.c_str(), t,
-                         out.cell.colors,
-                         static_cast<unsigned long long>(out.cell.rounds),
-                         out.cell.wall_seconds);
-          } else {
-            std::fprintf(stderr,
-                         "suite: graph=%s pipeline=%s threads=%u -> %s%s%s "
-                         "(%s)\n",
-                         slot.decl.name.c_str(), pipeline.c_str(), t,
-                         out.status.c_str(),
-                         out.error_class.empty() ? "" : "/",
-                         out.error_class.c_str(), out.message.c_str());
+        for (const std::string& kernel : cell_kernels) {
+          const std::string key = cell_key(slot.decl.name, pipeline, t,
+                                           kernel);
+          const auto resumed = resume_cells.find(key);
+          if (resumed != resume_cells.end()) {
+            cell_json.push_back(resumed->second);
+            all_ok = all_ok && resume_ok.at(key);
+            continue;
           }
-        }
-        // Durable checkpoint after every executed cell: a killed run loses
-        // at most the cell in flight, and --resume picks up from here.
-        if (file_out) {
-          atomic_write_file(out_path, render_report() + "\n");
-          DC_FAILPOINT("suite.checkpoint");
+          ensure_graph(slot, spec.palette_flags, holders.at(max_threads).exec);
+          {
+            std::string error;
+            DC_CHECK(select_simd(kernel, &error), error);  // validated above
+          }
+          const CellOutcome out = run_cell_isolated(
+              slot, pipeline, holders.at(t).exec, spec.algo_seed,
+              spec.timeout_seconds);
+          all_ok = all_ok && out.status == "ok";
+          cell_json.push_back(render_cell_json(slot.decl.name, pipeline, t,
+                                               kernel, out, spec.timing));
+          if (!quiet) {
+            if (out.status == "ok") {
+              std::fprintf(stderr,
+                           "suite: graph=%s pipeline=%s threads=%u kernel=%s "
+                           "-> %zu colors, %llu rounds, %.3fs\n",
+                           slot.decl.name.c_str(), pipeline.c_str(), t,
+                           kernel.c_str(), out.cell.colors,
+                           static_cast<unsigned long long>(out.cell.rounds),
+                           out.cell.wall_seconds);
+            } else {
+              std::fprintf(stderr,
+                           "suite: graph=%s pipeline=%s threads=%u kernel=%s "
+                           "-> %s%s%s (%s)\n",
+                           slot.decl.name.c_str(), pipeline.c_str(), t,
+                           kernel.c_str(), out.status.c_str(),
+                           out.error_class.empty() ? "" : "/",
+                           out.error_class.c_str(), out.message.c_str());
+            }
+          }
+          // Durable checkpoint after every executed cell: a killed run loses
+          // at most the cell in flight, and --resume picks up from here.
+          if (file_out) {
+            atomic_write_file(out_path, render_report() + "\n");
+            DC_FAILPOINT("suite.checkpoint");
+          }
         }
       }
     }
@@ -1379,6 +1470,7 @@ int run(int argc, char** argv) {
   const ArgParser args(argc - 1, argv + 1);
   try {
     init_failpoints(args);
+    init_simd(args);
     if (command == "gen") return cmd_gen(args);
     if (command == "color") return cmd_color(args);
     if (command == "verify") return cmd_verify(args);

@@ -31,6 +31,53 @@ TEST(Field, MulAgreesWithSmallCases) {
   EXPECT_EQ(m61_mul(kMersenne61 - 1, kMersenne61 - 1), 1u);
 }
 
+// Edge-value pins, evaluated at compile time (everything in field.hpp is
+// constexpr): 0, 1, p-1, p, and the 2^62-1 ceiling of m61_mul's documented
+// single-fold bound. These freeze the exact values the vector kernels in
+// hashing/simd_kernels.cpp must reproduce limb by limb.
+constexpr std::uint64_t kP = kMersenne61;
+constexpr std::uint64_t kTwo62Minus1 = (std::uint64_t{1} << 62) - 1;
+
+static_assert(m61_reduce(0) == 0);
+static_assert(m61_reduce(1) == 1);
+static_assert(m61_reduce(kP - 1) == kP - 1);
+static_assert(m61_reduce(kP) == 0);      // p == 0 in F_p
+static_assert(m61_reduce(kP + 1) == 1);
+static_assert(m61_reduce(kTwo62Minus1) == 1);  // 2^62-1 = 2p+1 == 1 mod p
+
+static_assert(m61_mul(0, 0) == 0);
+static_assert(m61_mul(0, kTwo62Minus1) == 0);
+static_assert(m61_mul(1, kP - 1) == kP - 1);
+static_assert(m61_mul(1, kP) == 0);
+static_assert(m61_mul(kP, kP) == 0);
+static_assert(m61_mul(kP - 1, kP - 1) == 1);  // (p-1)^2 == 1 mod p
+// Non-canonical inputs up to the documented 2^62-1 bound still land on the
+// canonical residue: 2^62-1 == 1 (mod p), so the products are 1*1 and 1*x.
+static_assert(m61_mul(kTwo62Minus1, kTwo62Minus1) == 1);
+static_assert(m61_mul(kTwo62Minus1, kP - 1) == kP - 1);
+
+static_assert(m61_add(kP - 1, 1) == 0);
+static_assert(m61_add(kP - 1, kP - 1) == kP - 2);
+static_assert(m61_sub(0, 1) == kP - 1);
+
+static_assert(m61_to_range(0, 10) == 0);
+static_assert(m61_to_range(kP - 1, 10) == 9);
+
+TEST(Field, MulCanonicalOnEdgeValues) {
+  // Runtime mirror of the static_asserts above, so a toolchain that skips
+  // constant evaluation still executes the pins, plus the canonicality
+  // check m61_mul must preserve: every result is < p.
+  const std::uint64_t edges[] = {0, 1, kP - 1, kP, kTwo62Minus1};
+  for (const std::uint64_t a : edges) {
+    for (const std::uint64_t b : edges) {
+      const std::uint64_t r = m61_mul(a, b);
+      EXPECT_LT(r, kP) << "a=" << a << " b=" << b;
+      EXPECT_EQ(r, m61_mul(m61_reduce(a), m61_reduce(b)))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
 TEST(Field, MulAssociativeCommutative) {
   Xoshiro256 rng(2);
   for (int i = 0; i < 500; ++i) {

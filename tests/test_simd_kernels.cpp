@@ -1,0 +1,339 @@
+// Lane-width property tests for the vectorized M61 field kernels
+// (hashing/simd_kernels.hpp): every available kernel must be byte-identical
+// to the scalar reference on every pass, at every point count straddling the
+// vector width (0..4 lanes plus tails), on edge coefficients (0, p-1) and
+// duplicate points — plus end-to-end CLI checks of the --simd / DETCOL_SIMD
+// contract and the "kernel" stats field (binary path injected by CMake as
+// DETCOL_BIN).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "derand/seedbits.hpp"
+#include "hashing/batch_eval.hpp"
+#include "hashing/field.hpp"
+#include "hashing/kwise.hpp"
+#include "hashing/simd_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace detcol {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Forces a kernel for the lifetime of one scope and restores the previous
+/// selection on exit (tests must not leak a forced kernel into each other).
+class KernelGuard {
+ public:
+  explicit KernelGuard(const std::string& name) : prev_(active_simd_name()) {
+    std::string error;
+    const bool ok = select_simd(name, &error);
+    EXPECT_TRUE(ok) << error;
+  }
+  ~KernelGuard() {
+    std::string error;
+    select_simd(prev_, &error);
+  }
+
+ private:
+  std::string prev_;
+};
+
+/// Kernel names available on this host, scalar first (the reference).
+std::vector<std::string> available_kernels() {
+  std::vector<std::string> names{"scalar"};
+  if (simd_available(SimdKind::kAvx2)) names.push_back("avx2");
+  if (simd_available(SimdKind::kNeon)) names.push_back("neon");
+  return names;
+}
+
+// Point counts straddling 0..4 vector blocks at both lane widths (AVX2: 4,
+// NEON: 2), each with and without a scalar tail.
+const std::size_t kCounts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33};
+
+TEST(SimdKernels, ScalarAlwaysAvailableAndAutoResolves) {
+  EXPECT_TRUE(simd_available(SimdKind::kScalar));
+  EXPECT_TRUE(simd_available(simd_auto_kind()));
+  std::string error;
+  EXPECT_TRUE(select_simd("auto", &error)) << error;
+  EXPECT_STREQ(active_simd_name(), simd_kind_name(simd_auto_kind()));
+}
+
+TEST(SimdKernels, SelectRejectsMalformedAndUnavailable) {
+  const std::string before = active_simd_name();
+  std::string error;
+  EXPECT_FALSE(select_simd("bogus", &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  EXPECT_EQ(before, active_simd_name());  // failed select leaves selection
+  for (const SimdKind kind :
+       {SimdKind::kScalar, SimdKind::kAvx2, SimdKind::kNeon}) {
+    if (simd_available(kind)) continue;
+    error.clear();
+    EXPECT_FALSE(select_simd(simd_kind_name(kind), &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(before, active_simd_name());
+  }
+}
+
+/// One evaluation scenario: points (with duplicates and raw un-reduced
+/// values), a seed word vector (with 0 and p-1 coefficients mixed in), and a
+/// range; returns {field values, bins} of a BatchKWiseEval built and loaded
+/// entirely under the currently active kernel.
+struct BatchOut {
+  std::vector<std::uint64_t> vals;
+  std::vector<std::uint32_t> bins;
+};
+
+BatchOut run_batch(const std::vector<std::uint64_t>& points,
+                   const std::vector<std::uint64_t>& words,
+                   std::uint64_t range) {
+  BatchKWiseEval eval(points, static_cast<unsigned>(words.size()), range);
+  eval.load(words);
+  BatchOut out;
+  out.vals.resize(points.size());
+  out.bins.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.vals[i] = eval.field_value(i);
+  }
+  eval.bins_into(out.bins, /*offset=*/1);
+  return out;
+}
+
+TEST(SimdKernels, BatchEvalByteIdenticalAcrossKernels) {
+  const auto kernels = available_kernels();
+  Xoshiro256 rng(99);
+  for (const std::size_t n : kCounts) {
+    for (unsigned c : {1u, 2u, 4u, 8u}) {
+      std::vector<std::uint64_t> points(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (i % 4) {
+          case 0: points[i] = rng.next(); break;       // raw, un-reduced
+          case 1: points[i] = i; break;                // small ids
+          case 2: points[i] = kMersenne61 - 1; break;  // duplicates at p-1
+          default: points[i] = n > 1 ? points[i / 2] : 0;  // duplicate point
+        }
+      }
+      std::vector<std::uint64_t> words(c);
+      for (unsigned j = 0; j < c; ++j) {
+        words[j] = j % 3 == 0   ? 0
+                   : j % 3 == 1 ? kMersenne61 - 1
+                                : rng.next();
+      }
+      const std::uint64_t range = 1 + rng.next() % 97;
+
+      KernelGuard base(kernels.front());
+      const BatchOut expect = run_batch(points, words, range);
+      for (const std::string& name : kernels) {
+        KernelGuard guard(name);
+        const BatchOut got = run_batch(points, words, range);
+        EXPECT_EQ(expect.vals, got.vals)
+            << "kernel=" << name << " n=" << n << " c=" << c;
+        EXPECT_EQ(expect.bins, got.bins)
+            << "kernel=" << name << " n=" << n << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, BatchEvalMatchesKWiseHashUnderEveryKernel) {
+  // Cross-check against the Horner path (itself routed through the kernel
+  // table): the two independent computations must agree bit for bit under
+  // every kernel, including the huge range that takes the scalar bin path.
+  Xoshiro256 rng(7);
+  const std::size_t n = 33;
+  std::vector<std::uint64_t> points(n);
+  for (auto& p : points) p = rng.next();
+  for (const std::string& name : available_kernels()) {
+    KernelGuard guard(name);
+    for (const std::uint64_t range : {std::uint64_t{5}, kMersenne61 - 1}) {
+      std::vector<std::uint64_t> words(4);
+      for (auto& w : words) w = rng.next();
+      const KWiseHash h(words, range);
+      BatchKWiseEval eval(points, 4, range);
+      eval.load(words);
+      std::vector<std::uint64_t> bulk_vals(n);
+      std::vector<std::uint32_t> bulk_bins(n);
+      h.field_eval_many(points, bulk_vals);
+      h.eval_bins_many(points, bulk_bins, /*offset=*/1);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(eval.field_value(i), h.field_eval(points[i]))
+            << "kernel=" << name << " i=" << i;
+        EXPECT_EQ(bulk_vals[i], h.field_eval(points[i]))
+            << "kernel=" << name << " i=" << i;
+        EXPECT_EQ(eval.bin(i), h(points[i])) << "kernel=" << name;
+        EXPECT_EQ(bulk_bins[i],
+                  static_cast<std::uint32_t>(h(points[i])) + 1)
+            << "kernel=" << name << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, IncrementalLoadsStayIdenticalAcrossKernels) {
+  // The MCE walk's signature access pattern: many load() calls differing in
+  // one word. Every kernel must track the scalar engine through the whole
+  // walk, not just on a fresh load.
+  const auto kernels = available_kernels();
+  Xoshiro256 rng(31);
+  const std::size_t n = 21;
+  const unsigned c = 4;
+  std::vector<std::uint64_t> points(n);
+  for (auto& p : points) p = rng.next();
+  std::vector<std::vector<std::uint64_t>> word_seq;
+  std::vector<std::uint64_t> words(c, 0);
+  for (int step = 0; step < 20; ++step) {
+    words[step % c] = step % 5 == 0 ? 0 : rng.next();
+    word_seq.push_back(words);
+  }
+
+  KernelGuard base(kernels.front());
+  BatchKWiseEval ref(points, c, 13);
+  for (const std::string& name : kernels) {
+    KernelGuard guard(name);
+    BatchKWiseEval eval(points, c, 13);
+    // Walk ref and eval in lockstep; compare after every load.
+    BatchKWiseEval ref_local(points, c, 13);
+    for (const auto& w : word_seq) {
+      {
+        KernelGuard scalar_guard(kernels.front());
+        ref_local.load(w);
+      }
+      eval.load(w);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(ref_local.field_value(i), eval.field_value(i))
+            << "kernel=" << name << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CLI: the --simd / DETCOL_SIMD contract (exit 0/2) and the "kernel" field.
+// ---------------------------------------------------------------------------
+
+std::string shq(const std::string& s) { return "'" + s + "'"; }
+
+int run_detcol(const std::string& args) {
+  const std::string cmd = shq(DETCOL_BIN) + " " + args;
+  const int status = std::system(cmd.c_str());
+  EXPECT_NE(status, -1) << "system() failed for: " << cmd;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+fs::path test_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "detcol_simd" / info->name();
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(SimdCli, MalformedAndUnavailableAreUsageErrors) {
+  const fs::path dir = test_dir();
+  const std::string out = " --quiet --out=" + shq((dir / "c.txt").string());
+  EXPECT_EQ(run_detcol("color --gen=ring --n=32 --simd=bogus" + out), 2);
+  EXPECT_EQ(run_detcol("color --gen=ring --n=32 --simd=" + out), 2);
+  // Exactly one of avx2/neon can be available per build; the other must be
+  // rejected with exit 2 rather than silently falling back.
+  if (!simd_available(SimdKind::kAvx2)) {
+    EXPECT_EQ(run_detcol("color --gen=ring --n=32 --simd=avx2" + out), 2);
+  }
+  if (!simd_available(SimdKind::kNeon)) {
+    EXPECT_EQ(run_detcol("color --gen=ring --n=32 --simd=neon" + out), 2);
+  }
+}
+
+TEST(SimdCli, EnvSelectsAndFlagWins) {
+  const fs::path dir = test_dir();
+  const fs::path stats = dir / "s.json";
+  const std::string base = "color --gen=gnp --n=300 --p=0.03 --seed=1 --quiet "
+                           "--out=" +
+                           shq((dir / "c.txt").string()) +
+                           " --stats=" + shq(stats.string());
+  // Env selects the kernel...
+  const std::string cmd = "env DETCOL_SIMD=scalar " + shq(DETCOL_BIN) + " " +
+                          base;
+  ASSERT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 0);
+  EXPECT_NE(read_file(stats).find("\"kernel\":\"scalar\""),
+            std::string::npos);
+  // ...a malformed env value is a usage error...
+  const std::string bad = "env DETCOL_SIMD=bogus " + shq(DETCOL_BIN) + " " +
+                          base;
+  EXPECT_EQ(WEXITSTATUS(std::system(bad.c_str())), 2);
+  // ...and the flag beats a malformed env value.
+  const std::string wins = "env DETCOL_SIMD=bogus " + shq(DETCOL_BIN) + " " +
+                           base + " --simd=scalar";
+  EXPECT_EQ(WEXITSTATUS(std::system(wins.c_str())), 0);
+}
+
+TEST(SimdCli, StatsRecordKernelAndForcedRunsAreByteIdentical) {
+  const fs::path dir = test_dir();
+  std::vector<std::string> colorings;
+  for (const std::string& name : available_kernels()) {
+    const fs::path colors = dir / ("c_" + name + ".txt");
+    const fs::path stats = dir / ("s_" + name + ".json");
+    ASSERT_EQ(run_detcol("color --gen=gnp --n=400 --p=0.03 --seed=3 --quiet "
+                         "--simd=" +
+                         name + " --out=" + shq(colors.string()) +
+                         " --stats=" + shq(stats.string())),
+              0);
+    EXPECT_NE(read_file(stats).find("\"kernel\":\"" + name + "\""),
+              std::string::npos)
+        << name;
+    colorings.push_back(read_file(colors));
+  }
+  for (std::size_t i = 1; i < colorings.size(); ++i) {
+    EXPECT_EQ(colorings[0], colorings[i])
+        << "coloring differs under kernel " << available_kernels()[i];
+  }
+}
+
+TEST(SimdCli, SuiteKernelAxisRecordsKernelPerCell) {
+  const fs::path dir = test_dir();
+  const fs::path spec = dir / "k.spec";
+  const fs::path report = dir / "report.json";
+  {
+    std::ofstream os(spec);
+    os << "graph smoke --gen=gnp --n=200 --p=0.03 --seed=1\n"
+       << "pipelines reduce\n"
+       << "threads 1\n"
+       << "kernels auto scalar\n"
+       << "timing off\n";
+  }
+  ASSERT_EQ(run_detcol("suite --spec=" + shq(spec.string()) + " --quiet " +
+                       "--out=" + shq(report.string())),
+            0);
+  const std::string text = read_file(report);
+  EXPECT_NE(text.find("\"kernel\":\"scalar\""), std::string::npos);
+  const std::string auto_name = simd_kind_name(simd_auto_kind());
+  EXPECT_NE(text.find("\"kernel\":\"" + auto_name + "\""), std::string::npos);
+  // A spec forcing an unavailable kernel is a data error (exit 1).
+  if (!simd_available(SimdKind::kNeon)) {
+    const fs::path bad = dir / "bad.spec";
+    {
+      std::ofstream os(bad);
+      os << "graph g --gen=ring --n=32\npipelines greedy\nkernels neon\n";
+    }
+    EXPECT_EQ(run_detcol("suite --spec=" + shq(bad.string()) + " --quiet " +
+                         "--out=" + shq((dir / "bad.json").string())),
+              1);
+  }
+}
+
+}  // namespace
+}  // namespace detcol
