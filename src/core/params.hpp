@@ -13,6 +13,8 @@
 
 namespace detcol {
 
+class PowerTableProvider;  // hashing/batch_eval.hpp
+
 struct PartitionParams {
   // Exponents of Definition 3.1 / Algorithm 2.
   double bin_exp = 0.1;        // number of bins b = ell^bin_exp
@@ -46,6 +48,13 @@ struct PartitionParams {
   /// Below this ell a partition is pointless (slack terms exceed degrees);
   /// such instances are collected directly.
   double min_ell = 4.0;
+
+  /// Optional source of shared seed-evaluation power tables
+  /// (hashing/batch_eval.hpp). Null = every engine builds its own (the
+  /// one-shot CLI path); the serving layer points this at a per-instance
+  /// cache so repeated requests on one graph skip the table builds. Must be
+  /// thread-safe; never changes results.
+  PowerTableProvider* tables = nullptr;
 
   SeedSelectConfig seed;
 };

@@ -42,9 +42,12 @@ SeedEvalEngine::SeedEvalEngine(const Instance& inst, const PaletteSet& palettes,
                                                  // the member accessor
       c_(params.independence),
       colors_(color_universe(inst, palettes)),
-      h1_(std::vector<std::uint64_t>(inst.orig.begin(), inst.orig.end()), c_,
+      h1_(acquire_power_table(
+              params.tables,
+              std::vector<std::uint64_t>(inst.orig.begin(), inst.orig.end()),
+              c_),
           b_),
-      h2_(colors_, c_, b_ - 1) {
+      h2_(acquire_power_table(params.tables, colors_, c_), b_ - 1) {
   DC_CHECK(b_ >= 2, "partition needs at least 2 bins");
 
   // Per-node color-universe index. Palettes are sorted and duplicate-free

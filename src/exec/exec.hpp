@@ -47,14 +47,45 @@ namespace detcol {
 /// support without new plumbing. The pointed-to Deadline, like the pool,
 /// must outlive the context (the suite runner keeps it on the cell's stack
 /// frame around the whole pipeline call).
+///
+/// A context may additionally carry a *thread budget* (with_budget): a
+/// per-call cap on the data-parallel fan-out below the pool's worker count.
+/// The serving layer uses it to run many requests on one shared pool while
+/// honoring each request's own --threads value: a budget of B caps every
+/// shard loop at B concurrent lane tasks, and a budget of 1 makes the whole
+/// call sequential (parallel() turns false, so sibling-recursion dispatch
+/// degenerates to the inline fold). Budgets never change results — the
+/// determinism contract already makes every thread count bit-identical —
+/// only how many workers a call can occupy at once.
 class ExecContext {
  public:
   constexpr ExecContext() = default;  // sequential
   explicit ExecContext(ThreadPool& pool) : pool_(&pool) {}
 
-  unsigned num_threads() const { return pool_ ? pool_->num_threads() : 1; }
-  bool parallel() const { return num_threads() > 1; }
+  /// The context's logical thread count: the budget when one is set, else
+  /// the pool's worker count (1 without a pool). This is the value runs
+  /// report as "threads" — a budget ABOVE the pool's worker count is legal
+  /// (the serving layer honors a request's --threads on whatever pool it
+  /// has) and merely means the cap is not binding; the determinism contract
+  /// makes the difference unobservable in results.
+  unsigned num_threads() const {
+    if (budget_ != 0) return budget_;
+    return pool_ ? pool_->num_threads() : 1;
+  }
+  bool parallel() const { return pool_ != nullptr && num_threads() > 1; }
   ThreadPool* pool() const { return pool_; }
+
+  /// Copy of this context capped at `budget` concurrent lanes (0 = uncapped).
+  ExecContext with_budget(unsigned budget) const {
+    ExecContext out = *this;
+    out.budget_ = budget;
+    return out;
+  }
+  /// True when a budget below the pool's worker count is in force (a budget
+  /// at or above the worker count never binds — the pool itself is the cap).
+  bool budgeted() const {
+    return pool_ != nullptr && budget_ != 0 && budget_ < pool_->num_threads();
+  }
 
   void set_deadline(const Deadline* d) { deadline_ = d; }
   const Deadline* deadline() const { return deadline_; }
@@ -72,6 +103,7 @@ class ExecContext {
  private:
   ThreadPool* pool_ = nullptr;
   const Deadline* deadline_ = nullptr;
+  unsigned budget_ = 0;  // 0 = no cap; otherwise max concurrent lanes
 };
 
 /// Pool + context pair for callers that size the pool from a runtime thread
@@ -142,6 +174,23 @@ void parallel_for_shards(ExecContext exec, std::size_t n, Body&& body,
     std::size_t grain;
     std::size_t n;
   } ctx{&body, grain, n};
+  const std::size_t lanes = exec.num_threads();
+  if (exec.budgeted() && lanes < shards) {
+    // Thread-budgeted call: `lanes` strided tasks instead of one task per
+    // shard, so this loop can occupy at most `lanes` workers of the shared
+    // pool. Each lane runs the same (s, begin, end) triples the per-shard
+    // spawn would, just batched — shard boundaries (and therefore results)
+    // are untouched.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      group.spawn([&ctx, lane, lanes, shards] {
+        for (std::size_t s = lane; s < shards; s += lanes) {
+          (*ctx.body)(s, s * ctx.grain, std::min(ctx.n, (s + 1) * ctx.grain));
+        }
+      });
+    }
+    group.wait();
+    return;
+  }
   for (std::size_t s = 0; s < shards; ++s) {
     group.spawn([&ctx, s] {
       (*ctx.body)(s, s * ctx.grain, std::min(ctx.n, (s + 1) * ctx.grain));

@@ -4,30 +4,61 @@
 
 namespace detcol {
 
-BatchKWiseEval::BatchKWiseEval(std::span<const std::uint64_t> points,
-                               unsigned independence, std::uint64_t range)
-    : kernel_(&active_field_kernel()), c_(independence), range_(range) {
+M61PowerTable::M61PowerTable(std::span<const std::uint64_t> points,
+                             unsigned independence)
+    : c_(independence), n_(points.size()) {
   DC_CHECK(independence >= 1, "hash needs at least one coefficient");
   DC_CHECK(independence <= 64, "independence beyond 64 is unsupported");
-  DC_CHECK(range >= 1, "hash range must be >= 1");
-  const std::size_t n = points.size();
-  pow_.resize(static_cast<std::size_t>(c_) * n);
-  for (std::size_t i = 0; i < n; ++i) pow_[i] = 1;  // x^0
+  const FieldKernel& kernel = active_field_kernel();
+  pow_.resize(static_cast<std::size_t>(c_) * n_);
+  for (std::size_t i = 0; i < n_; ++i) pow_[i] = 1;  // x^0
   if (c_ > 1) {
     // Row 1 is the reduced points themselves (x^1 = m61_reduce(x), exactly
     // the m61_mul(1, m61_reduce(x)) the row recurrence would compute); each
     // later row multiplies the previous one by row 1 element-wise.
-    std::uint64_t* x1 = pow_.data() + n;
-    kernel_->reduce_row(x1, points.data(), 0, n);
+    std::uint64_t* x1 = pow_.data() + n_;
+    kernel.reduce_row(x1, points.data(), 0, n_);
     for (unsigned j = 2; j < c_; ++j) {
-      const std::uint64_t* prev = pow_.data() + (j - 1) * n;
-      std::uint64_t* row = pow_.data() + static_cast<std::size_t>(j) * n;
-      kernel_->mul_rows(row, prev, x1, 0, n);
+      const std::uint64_t* prev = pow_.data() + (j - 1) * n_;
+      std::uint64_t* r = pow_.data() + static_cast<std::size_t>(j) * n_;
+      kernel.mul_rows(r, prev, x1, 0, n_);
     }
   }
+}
+
+bool M61PowerTable::matches(std::span<const std::uint64_t> points,
+                            unsigned independence) const {
+  if (independence != c_ || points.size() != n_) return false;
+  if (c_ == 1) return true;  // only the all-ones row exists
+  const std::uint64_t* x1 = row(1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (m61_reduce(points[i]) != x1[i]) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const M61PowerTable> acquire_power_table(
+    PowerTableProvider* provider, std::span<const std::uint64_t> points,
+    unsigned independence) {
+  if (provider != nullptr) return provider->acquire(points, independence);
+  return std::make_shared<M61PowerTable>(points, independence);
+}
+
+BatchKWiseEval::BatchKWiseEval(std::span<const std::uint64_t> points,
+                               unsigned independence, std::uint64_t range)
+    : BatchKWiseEval(std::make_shared<M61PowerTable>(points, independence),
+                     range) {}
+
+BatchKWiseEval::BatchKWiseEval(std::shared_ptr<const M61PowerTable> table,
+                               std::uint64_t range)
+    : kernel_(&active_field_kernel()),
+      c_(table->independence()),
+      range_(range),
+      table_(std::move(table)) {
+  DC_CHECK(range >= 1, "hash range must be >= 1");
   cur_words_.assign(c_, 0);
   cur_.assign(c_, 0);
-  vals_.assign(n, 0);  // the zero polynomial evaluates to 0 everywhere
+  vals_.assign(table_->num_points(), 0);  // zero polynomial -> 0 everywhere
 }
 
 bool BatchKWiseEval::load(std::span<const std::uint64_t> seed_words,
@@ -50,7 +81,7 @@ bool BatchKWiseEval::load(std::span<const std::uint64_t> seed_words,
     cur_[j] = a;
     if (delta == 0) continue;  // distinct words, same residue
     deltas[num_changed] = delta;
-    rows[num_changed] = pow_.data() + static_cast<std::size_t>(j) * n;
+    rows[num_changed] = table_->row(j);
     ++num_changed;
   }
   if (num_changed == 0) return false;

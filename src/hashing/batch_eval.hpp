@@ -13,12 +13,22 @@
 // word-by-word against the previous one — one multiply-add per point per
 // *changed* coefficient instead of a full Horner pass per point per call.
 //
+// The power table itself is a pure function of (points, independence) — it
+// carries no load state — so it lives in its own immutable value type,
+// M61PowerTable, shareable across engines, threads and (via a
+// PowerTableProvider) across whole runs: the serving layer keeps each
+// instance's tables resident so repeated requests on one graph skip the
+// O(n·c) table build entirely. Sharing is invisible in outputs: a cached
+// table is byte-identical to a freshly built one (the construction is
+// deterministic and every field kernel is bit-identical per element).
+//
 // Field values (and hence the range mapping of Section 2.3) are bit-identical
 // to KWiseHash::field_eval / to_range: both compute the exact same element of
 // F_p, just associated differently. tests/test_seed_eval.cpp asserts this.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,6 +37,53 @@
 #include "hashing/simd_kernels.hpp"
 
 namespace detcol {
+
+/// Immutable per-point power table: pow[j * n + i] = (point i)^j mod p for
+/// j in [0, independence). Row 0 is all ones; row 1 is the reduced points.
+/// Construction is deterministic and kernel-independent (all kernels are
+/// bit-identical per element), so two tables built from the same
+/// (points, independence) pair hold identical bytes — the property that
+/// makes cross-request sharing safe.
+class M61PowerTable {
+ public:
+  M61PowerTable(std::span<const std::uint64_t> points, unsigned independence);
+
+  std::size_t num_points() const { return n_; }
+  unsigned independence() const { return c_; }
+  const std::uint64_t* row(unsigned j) const { return pow_.data() + j * n_; }
+  std::size_t bytes() const { return pow_.size() * sizeof(std::uint64_t); }
+
+  /// True iff this table is exactly the one (points, independence) would
+  /// build: same independence, same count, and every reduced point matches
+  /// row 1. The table content is a pure function of the reduced points, so a
+  /// true result guarantees byte-identity — providers use this to make hash
+  /// collisions in their cache keys harmless.
+  bool matches(std::span<const std::uint64_t> points,
+               unsigned independence) const;
+
+ private:
+  unsigned c_;
+  std::size_t n_;
+  std::vector<std::uint64_t> pow_;
+};
+
+/// Source of shared power tables. acquire() must return a table for exactly
+/// (points, independence) — typically from a cache, building on miss — and
+/// must be thread-safe: engines are constructed concurrently from sibling
+/// recursion tasks. Implementations live above the core layers (the serving
+/// layer's per-instance store); pipeline configs carry a nullable pointer
+/// and engines fall back to building private tables when it is null.
+class PowerTableProvider {
+ public:
+  virtual ~PowerTableProvider() = default;
+  virtual std::shared_ptr<const M61PowerTable> acquire(
+      std::span<const std::uint64_t> points, unsigned independence) = 0;
+};
+
+/// Build a table directly when `provider` is null, else route through it.
+std::shared_ptr<const M61PowerTable> acquire_power_table(
+    PowerTableProvider* provider, std::span<const std::uint64_t> points,
+    unsigned independence);
 
 class BatchKWiseEval {
  public:
@@ -39,6 +96,11 @@ class BatchKWiseEval {
   /// selection changes mid-search. Kernels are bit-identical per element, so
   /// which one is captured never shows in any output.
   BatchKWiseEval(std::span<const std::uint64_t> points, unsigned independence,
+                 std::uint64_t range);
+
+  /// Same engine on a pre-built (possibly shared) power table. Load state is
+  /// engine-private; only the immutable table is shared.
+  BatchKWiseEval(std::shared_ptr<const M61PowerTable> table,
                  std::uint64_t range);
 
   /// Load a coefficient vector given as raw 64-bit seed words (the same
@@ -76,8 +138,7 @@ class BatchKWiseEval {
   const FieldKernel* kernel_;
   unsigned c_;
   std::uint64_t range_;
-  // pow_[j * n + i] = (point i)^j mod p; row 0 is all ones.
-  std::vector<std::uint64_t> pow_;
+  std::shared_ptr<const M61PowerTable> table_;
   std::vector<std::uint64_t> cur_words_;  // raw words currently applied
   std::vector<std::uint64_t> cur_;        // the same, reduced mod p
   std::vector<std::uint64_t> vals_;       // per-point field values

@@ -96,8 +96,10 @@ class LsDriver {
         salt_(salt),
         result_(g.num_nodes()),
         mpc_model_(local_space(), total_space()) {
-    // The MIS sub-searches shard over the driver's pool.
+    // The MIS sub-searches shard over the driver's pool and share the
+    // driver's power-table source.
     p_.mis.exec = p_.exec;
+    p_.mis.tables = p_.tables;
   }
 
   LowSpaceResult run() {
@@ -233,7 +235,7 @@ class LsDriver {
     // tables amortized over the whole search, per-node passes sharded over
     // the pool; bit-identical to the naive per-candidate recomputation.
     LowSpaceSeedEngine engine(high.graph, high.orig, pal_, b, c, p_.slack_exp,
-                              p_.exec);
+                              p_.exec, p_.tables);
     const auto cost = [&engine](const SeedBits& s) { return engine.cost(s); };
     const SeedSelectResult sel =
         select_seed(bits, cost, 0.0, p_.seed, sub_seed(salt, 1));

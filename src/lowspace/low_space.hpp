@@ -45,6 +45,11 @@ struct LowSpaceParams {
   /// MIS phase simulations — `mis.exec` is overridden with this value)
   /// shards over it. Results are bit-identical for any thread count.
   ExecContext exec;
+
+  /// Optional shared power-table source (hashing/batch_eval.hpp), forwarded
+  /// to every seed engine of the run (`mis.tables` is overridden with this
+  /// value, like `mis.exec`). Null = private tables; never changes results.
+  PowerTableProvider* tables = nullptr;
 };
 
 struct LowSpaceResult {

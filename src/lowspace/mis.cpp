@@ -162,7 +162,7 @@ MisColorResult mis_list_color(
 
   const unsigned c = params.independence;
   const unsigned bits = KWiseHash::seed_bits(c);
-  MisPhaseEngine engine(r.num_vertices, c, params.exec);
+  MisPhaseEngine engine(r.num_vertices, c, params.exec, params.tables);
 
   while (st.uncolored > 0) {
     params.exec.check_deadline("mis");

@@ -23,6 +23,8 @@
 
 namespace detcol {
 
+class PowerTableProvider;  // hashing/batch_eval.hpp
+
 struct MisParams {
   unsigned independence = 4;
   /// Accept a phase seed that removes at least remaining/removal_fraction
@@ -37,6 +39,10 @@ struct MisParams {
   /// Host execution context: the phase-seed search shards its simulation
   /// passes over this pool (results are bit-identical for any thread count).
   ExecContext exec;
+
+  /// Optional shared power-table source (hashing/batch_eval.hpp); null =
+  /// build private tables. Must be thread-safe; never changes results.
+  PowerTableProvider* tables = nullptr;
 };
 
 struct MisColorResult {

@@ -35,13 +35,17 @@ LowSpaceSeedEngine::LowSpaceSeedEngine(const Graph& g,
                                        const PaletteSet& palettes,
                                        std::uint64_t num_bins,
                                        unsigned independence, double slack_exp,
-                                       ExecContext exec)
+                                       ExecContext exec,
+                                       PowerTableProvider* tables)
     : g_(g),
       b_(num_bins),
       c_(independence),
       colors_(color_universe(orig, palettes)),
-      h1_(std::vector<std::uint64_t>(orig.begin(), orig.end()), c_, b_),
-      h2_(colors_, c_, b_ - 1),
+      h1_(acquire_power_table(
+              tables,
+              std::vector<std::uint64_t>(orig.begin(), orig.end()), c_),
+          b_),
+      h2_(acquire_power_table(tables, colors_, c_), b_ - 1),
       exec_(exec) {
   DC_CHECK(b_ >= 2, "low-space partition needs at least 2 bins");
   DC_CHECK(orig.size() == g.num_nodes(), "orig map size mismatch");
@@ -182,9 +186,12 @@ std::uint64_t lowspace_naive_violations(
 }
 
 MisPhaseEngine::MisPhaseEngine(std::uint64_t num_vertices,
-                               unsigned independence, ExecContext exec)
+                               unsigned independence, ExecContext exec,
+                               PowerTableProvider* tables)
     : c_(independence),
-      eval_(iota_points(num_vertices), independence, /*range=*/1),
+      eval_(acquire_power_table(tables, iota_points(num_vertices),
+                                independence),
+            /*range=*/1),
       exec_(exec) {}
 
 bool MisPhaseEngine::load(const SeedBits& seed) {

@@ -54,11 +54,13 @@ class LowSpaceSeedEngine {
   /// graph. All three must outlive the engine and stay unmodified while it
   /// is in use (the driver holds palettes fixed for the whole seed search).
   /// Seed layout: `independence` words for h1 (range `num_bins`), then
-  /// `independence` words for h2 (range `num_bins` - 1).
+  /// `independence` words for h2 (range `num_bins` - 1). `tables`, when
+  /// non-null, supplies the shared power tables (see batch_eval.hpp).
   LowSpaceSeedEngine(const Graph& g, std::span<const NodeId> orig,
                      const PaletteSet& palettes, std::uint64_t num_bins,
                      unsigned independence, double slack_exp,
-                     ExecContext exec = {});
+                     ExecContext exec = {},
+                     PowerTableProvider* tables = nullptr);
 
   /// Number of Lemma 4.5 violators under `seed` — bit-identical to
   /// classifying every node from scratch with the KWiseHash pair built from
@@ -129,7 +131,7 @@ std::uint64_t lowspace_naive_violations(
 class MisPhaseEngine {
  public:
   MisPhaseEngine(std::uint64_t num_vertices, unsigned independence,
-                 ExecContext exec = {});
+                 ExecContext exec = {}, PowerTableProvider* tables = nullptr);
 
   /// Load the candidate's coefficient words (layout: `independence` words
   /// from bit 0). Returns true when any priority moved — false means every

@@ -1,0 +1,42 @@
+// Thin client for `detcol serve`: connect, one framed request, one framed
+// response. The CLI subcommands use it to route transparently when
+// --server=ENDPOINT is given; the suite runner uses it as a load generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+namespace detcol::serve {
+
+/// "PATH" (Unix-domain socket) or "tcp:HOST:PORT".
+struct Endpoint {
+  bool tcp = false;
+  std::string path_or_host;
+  int port = 0;
+};
+
+/// Throws cli::UsageError on a malformed endpoint string.
+Endpoint parse_endpoint(const std::string& spec);
+
+class ServeClient {
+ public:
+  /// Connects immediately; throws CheckError when the server is not
+  /// reachable.
+  explicit ServeClient(const std::string& endpoint);
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Send one request, wait for the response. Returns the parsed response
+  /// document; *raw_out (optional) receives the exact payload bytes. Throws
+  /// CheckError on a broken connection or torn frame.
+  JsonValue roundtrip(const Request& req, std::string* raw_out = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace detcol::serve

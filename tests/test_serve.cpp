@@ -1,0 +1,412 @@
+// Serving-layer unit tests: wire framing, request schema, the power-table
+// and instance LRU caches, shared-vs-private table bit-identity, and the
+// per-request thread-budget reporting contract. End-to-end server tests
+// (real subprocess + socket) live in test_serve_e2e.cpp.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/pipeline.hpp"
+#include "cli/spec.hpp"
+#include "exec/exec.hpp"
+#include "graph/coloring.hpp"
+#include "serve/client.hpp"
+#include "serve/instance_store.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+namespace detcol::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(ServeFraming, RoundTripsPayloadBytes) {
+  SocketPair sp;
+  const std::string payload = "{\"op\":\"ping\",\"blob\":\"snow\"}";
+  std::string error;
+  ASSERT_TRUE(write_frame(sp.a, payload, &error)) << error;
+  std::string got;
+  ASSERT_EQ(read_frame(sp.b, &got, &error), FrameStatus::kOk) << error;
+  EXPECT_EQ(got, payload);
+}
+
+TEST(ServeFraming, EmptyPayloadRoundTrips) {
+  SocketPair sp;
+  std::string error;
+  ASSERT_TRUE(write_frame(sp.a, "", &error)) << error;
+  std::string got;
+  ASSERT_EQ(read_frame(sp.b, &got, &error), FrameStatus::kOk) << error;
+  EXPECT_EQ(got, "");
+}
+
+TEST(ServeFraming, CleanCloseBeforeHeaderIsEof) {
+  SocketPair sp;
+  ::close(sp.a);
+  sp.a = -1;
+  std::string got, error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error), FrameStatus::kEof);
+}
+
+TEST(ServeFraming, CloseMidHeaderIsTornFrameError) {
+  SocketPair sp;
+  const char partial[3] = {'D', 'C', 'S'};
+  ASSERT_EQ(::send(sp.a, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  ::close(sp.a);
+  sp.a = -1;
+  std::string got, error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error), FrameStatus::kError);
+  EXPECT_NE(error.find("torn"), std::string::npos) << error;
+}
+
+TEST(ServeFraming, CloseMidPayloadIsTornFrameError) {
+  SocketPair sp;
+  // Header promising 100 bytes, then only 3 delivered.
+  unsigned char header[8] = {'D', 'C', 'S', '1', 100, 0, 0, 0};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  ASSERT_EQ(::send(sp.a, "abc", 3, 0), 3);
+  ::close(sp.a);
+  sp.a = -1;
+  std::string got, error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error), FrameStatus::kError);
+}
+
+TEST(ServeFraming, BadMagicIsRejected) {
+  SocketPair sp;
+  unsigned char header[8] = {'X', 'C', 'S', '1', 0, 0, 0, 0};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  std::string got, error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error), FrameStatus::kError);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(ServeFraming, OversizeLengthIsRejectedBeforeAllocation) {
+  SocketPair sp;
+  // Length field 0xFFFFFFFF — must be rejected from the header alone.
+  unsigned char header[8] = {'D', 'C', 'S', '1', 0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  std::string got, error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error), FrameStatus::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Request schema.
+// ---------------------------------------------------------------------------
+
+TEST(ServeRequest, RenderParseRoundTripsEveryField) {
+  Request req;
+  req.op = "color";
+  req.graph_spec = "--gen=gnp --n=64 --p=0.1 --seed=1";
+  req.palette_spec = "--palette=lists --color-space=4096";
+  req.algo = "lowspace";
+  req.seed = 7;
+  req.threads = 4;
+  req.want_stats = true;
+  req.timeout_seconds = 2.5;
+  const Request back = parse_request(render_request(req));
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.graph_spec, req.graph_spec);
+  EXPECT_EQ(back.palette_spec, req.palette_spec);
+  EXPECT_EQ(back.algo, req.algo);
+  EXPECT_EQ(back.seed, req.seed);
+  EXPECT_EQ(back.threads, req.threads);
+  EXPECT_EQ(back.want_stats, req.want_stats);
+  EXPECT_DOUBLE_EQ(back.timeout_seconds, req.timeout_seconds);
+}
+
+TEST(ServeRequest, VerifyFieldsRoundTrip) {
+  Request req;
+  req.op = "verify";
+  req.coloring_text = "# graph: --gen=ring --n=4\n0\n1\n0\n1\n";
+  req.proper_only = true;
+  const Request back = parse_request(render_request(req));
+  EXPECT_EQ(back.coloring_text, req.coloring_text);
+  EXPECT_TRUE(back.proper_only);
+}
+
+TEST(ServeRequest, DefaultsOmittedFromWireAndRestored) {
+  Request req;
+  req.op = "ping";
+  const std::string wire = render_request(req);
+  // Default-valued fields stay off the wire entirely.
+  EXPECT_EQ(wire.find("threads"), std::string::npos) << wire;
+  EXPECT_EQ(wire.find("seed"), std::string::npos) << wire;
+  const Request back = parse_request(wire);
+  EXPECT_EQ(back.threads, 1u);
+  EXPECT_EQ(back.seed, 1u);
+  EXPECT_EQ(back.algo, "reduce");
+}
+
+TEST(ServeRequest, MalformedPayloadsThrowUsageError) {
+  EXPECT_THROW(parse_request("not json"), cli::UsageError);
+  EXPECT_THROW(parse_request("{}"), cli::UsageError);          // no op
+  EXPECT_THROW(parse_request("{\"op\":7}"), cli::UsageError);  // wrong type
+  EXPECT_THROW(parse_request("{\"op\":\"color\",\"threads\":0}"),
+               cli::UsageError);
+  EXPECT_THROW(parse_request("{\"op\":\"color\",\"threads\":100000}"),
+               cli::UsageError);
+  EXPECT_THROW(parse_request("{\"op\":\"color\",\"seed\":\"x\"}"),
+               cli::UsageError);
+}
+
+TEST(ServeRequest, ErrorFrameCarriesClassAndMessage) {
+  const std::string payload = render_error("timeout", "deadline \"hit\"");
+  const JsonValue doc = parse_json(payload, "error frame");
+  const JsonValue* ok = doc.find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->bool_value);
+  ASSERT_NE(doc.find("error_class"), nullptr);
+  EXPECT_EQ(doc.find("error_class")->string_value, "timeout");
+  EXPECT_EQ(doc.find("message")->string_value, "deadline \"hit\"");
+}
+
+TEST(ServeRequest, ParseEndpointForms) {
+  const Endpoint unix_ep = parse_endpoint("/tmp/x.sock");
+  EXPECT_FALSE(unix_ep.tcp);
+  EXPECT_EQ(unix_ep.path_or_host, "/tmp/x.sock");
+  const Endpoint tcp_ep = parse_endpoint("tcp:127.0.0.1:9000");
+  EXPECT_TRUE(tcp_ep.tcp);
+  EXPECT_EQ(tcp_ep.path_or_host, "127.0.0.1");
+  EXPECT_EQ(tcp_ep.port, 9000);
+  EXPECT_THROW(parse_endpoint(""), cli::UsageError);
+  EXPECT_THROW(parse_endpoint("tcp:nohost"), cli::UsageError);
+  EXPECT_THROW(parse_endpoint("tcp:127.0.0.1:notaport"), cli::UsageError);
+  EXPECT_THROW(parse_endpoint("tcp:127.0.0.1:99999"), cli::UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// PowerTableStore.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> iota_points(std::uint64_t n) {
+  std::vector<std::uint64_t> out(n);
+  for (std::uint64_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+TEST(PowerTableStore, SecondAcquireSharesTheTable) {
+  PowerTableStore store;
+  const auto points = iota_points(50);
+  const auto first = store.acquire(points, 4);
+  const auto second = store.acquire(points, 4);
+  EXPECT_EQ(first.get(), second.get());
+  const auto c = store.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.resident_tables, 1u);
+}
+
+TEST(PowerTableStore, DifferentIndependenceIsADifferentTable) {
+  PowerTableStore store;
+  const auto points = iota_points(50);
+  const auto a = store.acquire(points, 4);
+  const auto b = store.acquire(points, 5);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(store.counters().misses, 2u);
+}
+
+TEST(PowerTableStore, ByteBoundEvictsLeastRecentlyUsed) {
+  // Each table holds n*independence field elements; bound the store so only
+  // one table of this shape fits at a time.
+  PowerTableStore store(/*max_bytes=*/100 * 4 * 8 + 64);
+  const auto points_a = iota_points(100);
+  const auto points_b = iota_points(101);
+  const auto a = store.acquire(points_a, 4);
+  const auto b = store.acquire(points_b, 4);
+  EXPECT_TRUE(b->matches(points_b, 4));
+  EXPECT_GE(store.counters().evictions, 1u);
+  // The evicted table is still alive through our shared_ptr, and
+  // re-acquiring builds a fresh (but bit-identical) one.
+  const auto a2 = store.acquire(points_a, 4);
+  EXPECT_NE(a.get(), a2.get());
+  ASSERT_EQ(a->num_points(), a2->num_points());
+  EXPECT_TRUE(a2->matches(points_a, 4));
+}
+
+TEST(PowerTableStore, ConcurrentAcquiresConverge) {
+  PowerTableStore store;
+  const auto points = iota_points(200);
+  std::vector<std::shared_ptr<const M61PowerTable>> got(8);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back(
+        [&store, &points, &got, i] { got[i] = store.acquire(points, 4); });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& table : got) {
+    ASSERT_NE(table, nullptr);
+    EXPECT_TRUE(table->matches(points, 4));
+  }
+  // Racing builds may waste work but exactly one table stays resident.
+  EXPECT_EQ(store.counters().resident_tables, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// InstanceStore.
+// ---------------------------------------------------------------------------
+
+TEST(InstanceStore, RawSpecAliasHitsAfterFirstBuild) {
+  InstanceStore store(4);
+  const auto first = store.acquire("--gen=gnp --n=60 --p=0.1", {});
+  EXPECT_FALSE(first.hit);
+  const auto second = store.acquire("--gen=gnp --n=60 --p=0.1", {});
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.instance.get(), second.instance.get());
+}
+
+TEST(InstanceStore, CanonicalSpellingResolvesToTheSameInstance) {
+  InstanceStore store(4);
+  const auto raw = store.acquire("--n=60 --p=0.1", {});  // gen/seed defaulted
+  // The canonical spec build_graph produced for it is also registered.
+  const auto canonical = store.acquire(raw.instance->canonical_spec(), {});
+  EXPECT_TRUE(canonical.hit);
+  EXPECT_EQ(raw.instance.get(), canonical.instance.get());
+  EXPECT_EQ(store.counters().resident, 1u);
+}
+
+TEST(InstanceStore, ChecksumDedupsDifferentSpecsOfTheSameGraph) {
+  InstanceStore store(4);
+  // A 3-node ring and K3 are the same labeled graph from different specs.
+  const auto ring = store.acquire("--gen=ring --n=3", {});
+  const auto complete = store.acquire("--gen=complete --n=3", {});
+  EXPECT_FALSE(ring.hit);
+  EXPECT_TRUE(complete.hit);
+  EXPECT_EQ(ring.instance.get(), complete.instance.get());
+  EXPECT_EQ(store.counters().resident, 1u);
+}
+
+TEST(InstanceStore, LruEvictsTheOldestInstance) {
+  InstanceStore store(2);
+  store.acquire("--gen=ring --n=10", {});
+  store.acquire("--gen=ring --n=11", {});
+  store.acquire("--gen=ring --n=10", {});  // touch: 10 is now most recent
+  store.acquire("--gen=ring --n=12", {});  // evicts 11
+  EXPECT_EQ(store.counters().evictions, 1u);
+  EXPECT_EQ(store.counters().resident, 2u);
+  EXPECT_TRUE(store.acquire("--gen=ring --n=10", {}).hit);
+  EXPECT_FALSE(store.acquire("--gen=ring --n=11", {}).hit);  // rebuilt
+}
+
+TEST(InstanceStore, EvictionIsSafeUnderAnOutstandingHandle) {
+  InstanceStore store(1);
+  const auto held = store.acquire("--gen=ring --n=20", {});
+  store.acquire("--gen=ring --n=21", {});  // evicts n=20 from residency
+  // The held instance stays fully usable.
+  EXPECT_EQ(held.instance->graph().num_nodes(), 20u);
+  const auto palettes = held.instance->palettes("", nullptr);
+  EXPECT_EQ(palettes->num_nodes(), 20u);
+}
+
+TEST(InstanceStore, MalformedSpecThrowsWithoutPoisoningTheStore) {
+  InstanceStore store(4);
+  EXPECT_THROW(store.acquire("--gen=nosuch --n=10", {}), cli::UsageError);
+  EXPECT_THROW(store.acquire("--n=banana", {}), cli::UsageError);
+  const auto ok = store.acquire("--gen=ring --n=8", {});
+  EXPECT_EQ(ok.instance->graph().num_nodes(), 8u);
+  EXPECT_EQ(store.counters().resident, 1u);
+}
+
+TEST(ServeInstance, PaletteCacheAliasesRawSpellings) {
+  InstanceStore store(2);
+  const auto acq = store.acquire("--gen=gnp --n=40 --p=0.2", {});
+  std::string canon_a, canon_b;
+  const auto a = acq.instance->palettes("", &canon_a);
+  const auto b = acq.instance->palettes("--palette=delta1", &canon_b);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(canon_a, canon_b);
+  const auto c = acq.instance->palettes(
+      "--palette=lists --color-space=4096 --palette-seed=3", nullptr);
+  EXPECT_NE(a.get(), c.get());
+}
+
+// ---------------------------------------------------------------------------
+// Shared tables and budgets never change bytes.
+// ---------------------------------------------------------------------------
+
+TEST(ServeDeterminism, SharedPowerTablesMatchPrivateOnes) {
+  const cli::GraphSource src = cli::build_graph(
+      cli::parse_spec("--gen=gnp --n=300 --p=0.05 --seed=3"),
+      /*allow_algo_seed=*/false);
+  const cli::PaletteSource pal =
+      cli::build_palettes(cli::parse_spec(""), src.graph);
+  InstanceStore store(2);
+  const auto inst = store.acquire("--gen=gnp --n=300 --p=0.05 --seed=3", {});
+  for (const char* algo : {"reduce", "lowspace", "mis"}) {
+    cli::PipelineRun private_run = cli::run_pipeline(
+        algo, src.graph, pal.palettes, {}, 1, /*want_stats=*/false, nullptr);
+    cli::PipelineRun shared_run = cli::run_pipeline(
+        algo, src.graph, pal.palettes, {}, 1, /*want_stats=*/false,
+        &inst.instance->tables());
+    EXPECT_EQ(private_run.coloring.color, shared_run.coloring.color)
+        << "algo=" << algo;
+    EXPECT_EQ(private_run.rounds, shared_run.rounds) << "algo=" << algo;
+  }
+  // The shared runs actually exercised the store.
+  const auto c = inst.instance->tables().counters();
+  EXPECT_GT(c.misses + c.hits, 0u);
+}
+
+TEST(ServeDeterminism, RepeatRunsThroughTheStoreHitTables) {
+  const cli::GraphSource src = cli::build_graph(
+      cli::parse_spec("--gen=gnp --n=300 --p=0.05 --seed=3"),
+      /*allow_algo_seed=*/false);
+  const cli::PaletteSource pal =
+      cli::build_palettes(cli::parse_spec(""), src.graph);
+  InstanceStore store(2);
+  const auto inst = store.acquire("--gen=gnp --n=300 --p=0.05 --seed=3", {});
+  cli::PipelineRun first =
+      cli::run_pipeline("reduce", src.graph, pal.palettes, {}, 1, false,
+                        &inst.instance->tables());
+  const std::uint64_t misses_after_first =
+      inst.instance->tables().counters().misses;
+  cli::PipelineRun second =
+      cli::run_pipeline("reduce", src.graph, pal.palettes, {}, 1, false,
+                        &inst.instance->tables());
+  EXPECT_EQ(first.coloring.color, second.coloring.color);
+  // The warm run built nothing new: every table came from the store.
+  EXPECT_EQ(inst.instance->tables().counters().misses, misses_after_first);
+  EXPECT_GT(inst.instance->tables().counters().hits, 0u);
+}
+
+TEST(ServeBudget, BudgetIsReportedVerbatimEvenAbovePoolWidth) {
+  // A server with few workers must still *report* the request's thread
+  // budget (the stats document records it), while execution is capped by
+  // the pool — unobservable by determinism.
+  const ExecHolder holder = make_exec_holder(2);
+  EXPECT_EQ(holder.exec.num_threads(), 2u);
+  const ExecContext over = holder.exec.with_budget(7);
+  EXPECT_EQ(over.num_threads(), 7u);
+  EXPECT_FALSE(over.budgeted());  // no narrowing: budget >= pool width
+  const ExecContext under = holder.exec.with_budget(1);
+  EXPECT_EQ(under.num_threads(), 1u);
+  EXPECT_TRUE(under.budgeted());
+}
+
+}  // namespace
+}  // namespace detcol::serve
