@@ -1,6 +1,9 @@
 #include "cli/spec.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -8,12 +11,52 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
+#include <string_view>
 
 #include "graph/generators.hpp"
+#include "graph/scalable_gen.hpp"
 #include "util/check.hpp"
 
 namespace detcol::cli {
+
+namespace {
+
+/// Realize a scalable-generator spec as a mapped Graph. With --cache=PATH
+/// the .dcg is generated once and reused on later runs (a present cache is
+/// trusted after map-time validation plus an n cross-check against the
+/// spec); without it the graph streams to a temp file that is unlinked as
+/// soon as the mapping is live — the mapping keeps the pages reachable, so
+/// the instance never occupies a heap-resident CSR either way.
+Graph realize_scalable(const ScalableGenSpec& gen_spec, const ArgParser& args,
+                       ExecContext exec) {
+  const std::string cache = get_value_flag(args, "cache", "");
+  if (!cache.empty()) {
+    if (std::filesystem::exists(cache)) {
+      Graph g = map_dcg_file(cache, exec);
+      DC_CHECK(g.num_nodes() == gen_spec.n, cache, ": cached graph has n=",
+               g.num_nodes(), " but the generator spec says n=", gen_spec.n,
+               " — stale cache? delete it to regenerate");
+      return g;
+    }
+    generate_scalable_dcg(gen_spec, cache, exec);
+    return map_dcg_file(cache, exec);
+  }
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      (std::filesystem::temp_directory_path() /
+       ("detcol-scalable-" + std::to_string(::getpid()) + "-" +
+        std::to_string(counter.fetch_add(1)) + ".dcg"))
+          .string();
+  generate_scalable_dcg(gen_spec, tmp, exec);
+  Graph g = map_dcg_file(tmp, exec);
+  std::error_code ec;
+  std::filesystem::remove(tmp, ec);  // the live mapping outlives the name
+  return g;
+}
+
+}  // namespace
 
 void usage_error(const std::string& msg) { throw UsageError(msg); }
 
@@ -158,12 +201,25 @@ GraphSource build_graph(const ArgParser& args, bool allow_algo_seed,
     if (args.has("gen")) {
       usage_error("--gen does not apply with --input");
     }
-    check_flags("--input", {});
+    check_flags("--input", {"mmap"});
     const std::string path = get_value_flag(args, "input", "");
-    out.graph = read_graph_file(path, input_format, exec);
     // Record an absolute path: the coloring file may be verified (or the
     // served request re-built) from a different working directory.
     out.spec = "--input=" + std::filesystem::absolute(path).string();
+    if (get_bool_strict(args, "mmap")) {
+      // Out-of-core read path (graphs larger than RAM): only the .dcg
+      // container supports it. A wrong file is a data error (exit 1) from
+      // map_dcg_file's magic check; a wrong *flag combination* is exit 2.
+      if (input_format != GraphFormat::kAuto &&
+          input_format != GraphFormat::kDcg) {
+        usage_error("--mmap=1 requires the .dcg format, not --format=" +
+                    std::string(format_name(input_format)));
+      }
+      out.graph = map_dcg_file(path, exec);
+      out.spec += " --mmap=1";
+    } else {
+      out.graph = read_graph_file(path, input_format, exec);
+    }
     return out;
   }
   const std::string kind = get_value_flag(args, "gen", "gnp");
@@ -171,6 +227,10 @@ GraphSource build_graph(const ArgParser& args, bool allow_algo_seed,
   const std::uint64_t seed = get_uint_strict(args, "seed", 1);
   std::ostringstream spec;
   spec << "--gen=" << kind;
+  // Scalable families validate parameters inside the try below but run the
+  // generator after it: a cache/temp-file I/O failure or corrupt cache is a
+  // data error (exit 1, CheckError propagates), not a bad invocation.
+  std::optional<ScalableGenSpec> scalable;
   try {
   if (kind == "gnp") {
     check_flags("--gen=gnp", {"n", "p", "seed"});
@@ -238,6 +298,16 @@ GraphSource build_graph(const ArgParser& args, bool allow_algo_seed,
     check_flags("--gen=tree", {"n", "seed"});
     out.graph = gen_random_tree(n, seed);
     spec << " --n=" << n << " --seed=" << seed;
+  } else if (ScalableFamily family; parse_scalable_family(kind, &family)) {
+    // Sharded out-of-core families (graph/scalable_gen.hpp): the instance
+    // streams to a .dcg and is consumed through the mmap read path, never
+    // as a heap CSR. The canonical spec deliberately omits --cache (the
+    // cache is a placement detail — the same spec must name the same
+    // instance on any machine, with or without a cache file).
+    ScalableSource src = parse_scalable_spec(args, family, allow_algo_seed,
+                                             /*allow_cache=*/true);
+    scalable = src.gen;
+    spec.str(src.spec);  // replaces the "--gen=KIND" prefix written above
   } else {
     usage_error("unknown --gen kind '" + kind + "'");
   }
@@ -245,6 +315,58 @@ GraphSource build_graph(const ArgParser& args, bool allow_algo_seed,
     // Out-of-domain parameters (p > 1, infeasible m, n too small) are bad
     // invocations, not data errors.
     usage_error(std::string("invalid generator parameters: ") + e.what());
+  }
+  if (scalable) out.graph = realize_scalable(*scalable, args, exec);
+  out.spec = spec.str();
+  return out;
+}
+
+ScalableSource parse_scalable_spec(const ArgParser& args,
+                                   ScalableFamily family, bool allow_algo_seed,
+                                   bool allow_cache) {
+  ScalableSource out;
+  out.gen.family = family;
+  out.gen.n = get_nodeid_strict(args, "n", 1000);
+  out.gen.seed = get_uint_strict(args, "seed", 1);
+  const std::string kind =
+      std::string("--gen=") + scalable_family_name(family);
+  if (out.gen.n < 1) usage_error(kind + " needs --n >= 1");
+  const auto check = [&](std::initializer_list<const char*> used,
+                         std::initializer_list<const char*> used_cache) {
+    check_graph_flag_applicability(args, kind,
+                                   allow_cache ? used_cache : used,
+                                   allow_algo_seed);
+  };
+  std::ostringstream spec;
+  spec << kind;
+  if (family == ScalableFamily::kBarabasiAlbert) {
+    check({"n", "d", "seed"}, {"n", "d", "seed", "cache"});
+    out.gen.d = get_nodeid_strict(args, "d", 4);
+    if (out.gen.d < 1) usage_error("--gen=ba needs --d >= 1");
+    spec << " --n=" << out.gen.n << " --d=" << out.gen.d
+         << " --seed=" << out.gen.seed;
+  } else if (family == ScalableFamily::kGeometric) {
+    check({"n", "radius", "seed"}, {"n", "radius", "seed", "cache"});
+    out.gen.radius = get_double_strict(args, "radius", 0.05);
+    if (!(out.gen.radius > 0.0 && out.gen.radius <= 1.0)) {
+      usage_error("--gen=rgg needs --radius in (0, 1]");
+    }
+    spec << " --n=" << out.gen.n
+         << " --radius=" << fmt_double(out.gen.radius)
+         << " --seed=" << out.gen.seed;
+  } else if (family == ScalableFamily::kGnm) {
+    check({"n", "m", "seed"}, {"n", "m", "seed", "cache"});
+    out.gen.m = get_uint_strict(args, "m", std::uint64_t{4} * out.gen.n);
+    spec << " --n=" << out.gen.n << " --m=" << out.gen.m
+         << " --seed=" << out.gen.seed;
+  } else {
+    check({"n", "p", "seed"}, {"n", "p", "seed", "cache"});
+    out.gen.p = get_double_strict(args, "p", 0.02);
+    if (!(out.gen.p >= 0.0 && out.gen.p <= 1.0)) {
+      usage_error("--gen=sgnp needs --p in [0, 1]");
+    }
+    spec << " --n=" << out.gen.n << " --p=" << fmt_double(out.gen.p)
+         << " --seed=" << out.gen.seed;
   }
   out.spec = spec.str();
   return out;
@@ -286,8 +408,18 @@ ArgParser parse_spec(const std::string& spec) {
   std::vector<std::string> tokens{"detcol-spec"};
   if (spec.rfind("--input=", 0) == 0) {
     // An --input spec is a single flag whose value is a file path; paths may
-    // contain spaces, so never tokenize it.
-    tokens.push_back(spec);
+    // contain spaces, so never tokenize it. The one flag build_graph may
+    // append after the path (" --mmap=1") is split off first.
+    std::string body = spec;
+    const std::string_view mm = " --mmap=1";
+    if (body.size() > mm.size() &&
+        std::string_view(body).substr(body.size() - mm.size()) == mm) {
+      body.erase(body.size() - mm.size());
+      tokens.push_back(body);
+      tokens.emplace_back("--mmap=1");
+    } else {
+      tokens.push_back(body);
+    }
   } else {
     std::istringstream is(spec);
     std::string tok;

@@ -25,6 +25,7 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "graph/palette.hpp"
+#include "graph/scalable_gen.hpp"
 #include "util/cli.hpp"
 
 namespace detcol::cli {
@@ -73,8 +74,8 @@ inline constexpr unsigned kMaxThreads = 256;
 unsigned resolve_threads(const ArgParser& args);
 
 inline constexpr std::initializer_list<const char*> kGraphFlags = {
-    "input", "gen",  "n", "m", "d",      "p", "beta", "avgdeg",
-    "rows",  "cols", "a", "b", "radius", "k", "seed"};
+    "input", "gen",  "n", "m", "d",      "p", "beta", "avgdeg", "rows",
+    "cols",  "a",    "b", "radius", "k", "seed", "cache", "mmap"};
 inline constexpr std::initializer_list<const char*> kPaletteFlags = {
     "palette", "color-space", "palette-seed"};
 
@@ -105,12 +106,26 @@ std::string fmt_double(double v);
 
 struct GraphSource {
   Graph graph;
-  std::string spec;  // "--gen=... --n=..." or "--input=path"
+  std::string spec;  // "--gen=... --n=..." or "--input=path[ --mmap=1]"
 };
 
 GraphSource build_graph(const ArgParser& args, bool allow_algo_seed,
                         GraphFormat input_format = GraphFormat::kAuto,
                         ExecContext exec = {});
+
+struct ScalableSource {
+  ScalableGenSpec gen;
+  std::string spec;  // canonical "--gen=... --n=... --seed=..." string
+};
+
+/// Parse + strictly validate the flags of one scalable generator family
+/// (graph/scalable_gen.hpp). Out-of-range parameters are usage errors, like
+/// every in-RAM generator. `allow_cache` admits --cache in the family's
+/// used-flag set (build_graph realizes specs through a cache file) or
+/// rejects it (`detcol gen`, where --out is already the .dcg artifact).
+ScalableSource parse_scalable_spec(const ArgParser& args,
+                                   ScalableFamily family, bool allow_algo_seed,
+                                   bool allow_cache);
 
 struct PaletteSource {
   PaletteSet palettes;

@@ -199,6 +199,35 @@ void parallel_for_shards(ExecContext exec, std::size_t n, Body&& body,
   group.wait();
 }
 
+/// Ordered producer/consumer over `chunks` sequential work units:
+/// process(c) -> R runs concurrently (in waves of the context's thread
+/// count, bounding buffered results to one wave), consume(c, R&&) runs on
+/// the calling thread in strict chunk order. The shape the streaming .dcg
+/// writer needs — chunk payloads are prepared in parallel but hit the byte
+/// sink in file order, so the emitted stream is bit-identical for every
+/// thread count. Exceptions from either side propagate; once consume(c)
+/// has run, chunks <= c are never revisited.
+template <typename R, typename Process, typename Consume>
+void parallel_ordered_chunks(ExecContext exec, std::size_t chunks,
+                             Process&& process, Consume&& consume) {
+  const std::size_t wave = std::max<std::size_t>(1, exec.num_threads());
+  std::vector<R> buffered;
+  for (std::size_t base = 0; base < chunks; base += wave) {
+    const std::size_t count = std::min(wave, chunks - base);
+    buffered.clear();
+    buffered.resize(count);
+    parallel_for_shards(
+        exec, count,
+        [&](std::size_t s, std::size_t begin, std::size_t) {
+          buffered[s] = process(base + begin);
+        },
+        /*grain=*/1);
+    for (std::size_t i = 0; i < count; ++i) {
+      consume(base + i, std::move(buffered[i]));
+    }
+  }
+}
+
 /// Shard-ordered reduction: body(shard_index, begin, end) -> T computed per
 /// shard (concurrently), then folded left-to-right in shard-index order with
 /// combine(acc, partial). The fold order is fixed, so floating-point results

@@ -1,0 +1,103 @@
+#include "graph/corpus.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace detcol {
+
+Graph corpus_queens(NodeId board) {
+  DC_CHECK(board >= 1, "queens needs a board of at least 1x1");
+  const NodeId n = board * board;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId ur = u / board, uc = u % board;
+    for (NodeId v = u + 1; v < n; ++v) {
+      const NodeId vr = v / board, vc = v % board;
+      const bool attacks = ur == vr || uc == vc ||
+                           static_cast<std::int64_t>(ur) - uc ==
+                               static_cast<std::int64_t>(vr) - vc ||
+                           ur + uc == vr + vc;
+      if (attacks) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph corpus_mycielski(unsigned levels) {
+  NodeId n = 2;
+  std::vector<Edge> edges{{0, 1}};  // K_2
+  for (unsigned step = 0; step < levels; ++step) {
+    std::vector<Edge> next = edges;
+    next.reserve(3 * edges.size() + n);
+    for (const auto& [u, v] : edges) {
+      next.emplace_back(static_cast<NodeId>(u + n), v);  // copy(u) - v
+      next.emplace_back(u, static_cast<NodeId>(v + n));  // u - copy(v)
+    }
+    const NodeId apex = 2 * n;
+    for (NodeId v = 0; v < n; ++v) {
+      next.emplace_back(static_cast<NodeId>(v + n), apex);
+    }
+    edges = std::move(next);
+    n = 2 * n + 1;
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph corpus_karate() {
+  // Zachary (1977), the standard 0-indexed 78-edge list.
+  static constexpr Edge kEdges[] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33},
+  };
+  return Graph::from_edges(34, std::span<const Edge>(kEdges));
+}
+
+Graph corpus_threshold_blocks(NodeId ell, NodeId blocks) {
+  DC_CHECK(ell >= 1 && blocks >= 1, "threshold adversary needs ell >= 1 and "
+           "blocks >= 1");
+  std::vector<Edge> edges;
+  edges.reserve(std::size_t{ell} * ell * blocks);
+  for (NodeId b = 0; b < blocks; ++b) {
+    const NodeId base = b * 2 * ell;  // [base, base+ell) x [base+ell, base+2ell)
+    for (NodeId u = 0; u < ell; ++u) {
+      for (NodeId v = 0; v < ell; ++v) {
+        edges.emplace_back(base + u, static_cast<NodeId>(base + ell + v));
+      }
+    }
+  }
+  return Graph::from_edges(blocks * 2 * ell, edges);
+}
+
+namespace {
+// Zero-argument builders for the registry (the committed parameterizations).
+Graph build_queens8() { return corpus_queens(8); }
+Graph build_myciel7() { return corpus_mycielski(6); }
+Graph build_karate() { return corpus_karate(); }
+// ell = 32: b = max(2, floor(32^0.1)) = 2, so d/b = 16 against a degree
+// slack of 32^0.6 ~= 8.0, and p/b + 32^0.7 ~= 16.5 + 11.3 = 27.8 against
+// palettes of 33 — both margins tight, both identical at every node.
+Graph build_threshold32() { return corpus_threshold_blocks(32, 48); }
+
+constexpr CorpusGraph kCorpus[] = {
+    {"queens8", "queens8.dcg", &build_queens8},
+    {"myciel7", "myciel7.dcg", &build_myciel7},
+    {"karate", "karate.dcg", &build_karate},
+    {"threshold32", "threshold32.dcg", &build_threshold32},
+};
+}  // namespace
+
+std::span<const CorpusGraph> corpus_graphs() { return kCorpus; }
+
+}  // namespace detcol

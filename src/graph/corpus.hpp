@@ -1,0 +1,69 @@
+// The adversarial regression corpus: a small, fixed set of graphs with
+// known hard structure, committed to the repository as canonical .dcg files
+// (corpus/*.dcg) and rebuilt from scratch here. Because the .dcg encoding is
+// canonical (formats.hpp), "the committed file is intact and current" is a
+// single byte comparison against dcg_bytes(build()).
+//
+// The corpus has two kinds of members:
+//
+//  * Classic coloring benchmarks (queens, iterated Mycielski, Zachary's
+//    karate club) — graphs whose chromatic structure is well understood and
+//    documented, so a regression in rounds or colors is meaningful rather
+//    than noise.
+//
+//  * A Definition 3.1 threshold adversary — disjoint K_{d,d} blocks sized
+//    so every node sits at the same distance from the partition's goodness
+//    thresholds (|d' - d/b| <= ell^0.6 and p' >= p/b + ell^0.7, with
+//    b = max(2, ell^0.1); see core/params.hpp and the Lemma 4.5 test in
+//    lowspace/seed_engine.hpp). Perfect regularity makes the bad event
+//    maximally correlated across nodes: a biased seed fails everywhere at
+//    once, so the seed searches get no partial credit and the recursion is
+//    exercised at its least forgiving.
+//
+// tests/test_adversarial.cpp pins byte-identity of the committed files plus
+// rounds/colors baselines per pipeline at several thread counts;
+// corpus/corpus.spec runs the same graphs through the suite runner.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace detcol {
+
+/// Queens graph on a board x board chessboard: one node per square, an edge
+/// between squares that share a row, column or diagonal — the classic
+/// frequency-assignment-style benchmark (queens8 = DIMACS queen8_8:
+/// n = 64, m = 728, chromatic number 9).
+Graph corpus_queens(NodeId board);
+
+/// `levels` Mycielski constructions applied to K_2. Each step takes G to a
+/// triangle-free-preserving supergraph with n' = 2n+1, m' = 3m+n and
+/// chromatic number chi+1, so the result is (levels+2)-chromatic while
+/// staying sparse — maximal gap between clique number and chromatic number.
+/// levels = 2 is the Grötzsch graph; levels = 6 is DIMACS myciel7
+/// (n = 191, m = 2360).
+Graph corpus_mycielski(unsigned levels);
+
+/// Zachary's karate club (n = 34, m = 78): the standard small community
+/// graph; two hubs, skewed degrees, real-world irregularity.
+Graph corpus_karate();
+
+/// The Definition 3.1 threshold adversary: `blocks` disjoint complete
+/// bipartite blocks K_{ell,ell}. Every node has degree exactly ell and a
+/// (Delta+1)-palette of exactly ell+1 colors, so under a b-bin partition
+/// every node sits at the identical margin from both goodness thresholds.
+Graph corpus_threshold_blocks(NodeId ell, NodeId blocks);
+
+/// A committed corpus member: its registry name, its .dcg file name under
+/// corpus/, and the construction that must reproduce the file byte-for-byte.
+struct CorpusGraph {
+  const char* name;
+  const char* file;
+  Graph (*build)();
+};
+
+/// The fixed corpus, in committed order.
+std::span<const CorpusGraph> corpus_graphs();
+
+}  // namespace detcol

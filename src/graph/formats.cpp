@@ -12,6 +12,7 @@
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
+#include "util/mmap_file.hpp"
 
 namespace detcol {
 
@@ -436,6 +437,88 @@ Graph parse_dcg(std::string_view bytes, const std::string& what) {
 void write_dcg_file(const std::string& path, const Graph& g) {
   DC_FAILPOINT("dcg.write.body");
   atomic_write_file(path, dcg_bytes(g));
+}
+
+Graph map_dcg_file(const std::string& path, ExecContext exec) {
+  const std::shared_ptr<MappedFile> file = MappedFile::open(path);
+  const std::string_view bytes = file->bytes();
+  DC_CHECK(bytes.size() >= kDcgHeaderBytes + 8 + kDcgChecksumBytes, path,
+           ": truncated .dcg file (", bytes.size(), " bytes)");
+  DC_CHECK(std::memcmp(bytes.data(), kDcgMagic, sizeof(kDcgMagic)) == 0, path,
+           ": not a .dcg file (bad magic — wrong format or version)");
+  const std::uint64_t n64 = read_le(bytes, 8, 8);
+  const std::uint64_t m = read_le(bytes, 16, 8);
+  const std::uint64_t flags = read_le(bytes, 24, 8);
+  DC_CHECK(flags == 0, path, ": unsupported .dcg flags ", flags);
+  DC_CHECK(n64 <= std::numeric_limits<NodeId>::max(), path, ": node count ",
+           n64, " exceeds the node-id limit");
+  DC_CHECK(n64 <= bytes.size() / 8 && m <= bytes.size() / 8, path,
+           ": truncated .dcg file (header claims n=", n64, ", m=", m, " in ",
+           bytes.size(), " bytes)");
+  const std::size_t expected = kDcgHeaderBytes +
+                               (static_cast<std::size_t>(n64) + 1) * 8 +
+                               static_cast<std::size_t>(2 * m) * 4 +
+                               kDcgChecksumBytes;
+  DC_CHECK(bytes.size() == expected, path, ": .dcg payload size mismatch ",
+           "(expected ", expected, " bytes for n=", n64, ", m=", m, ", have ",
+           bytes.size(), ")");
+
+  const auto n = static_cast<NodeId>(n64);
+  const std::size_t num_arcs = static_cast<std::size_t>(2 * m);
+  // Zero-copy views into the mapping (alignment: the mapping is
+  // page-aligned, offsets start at byte 32, adjacency at 32 + 8(n+1); the
+  // static_asserts in graph.cpp pin the layout equivalence).
+  const auto* offsets =
+      reinterpret_cast<const std::uint64_t*>(bytes.data() + kDcgHeaderBytes);
+  const auto* adj = reinterpret_cast<const NodeId*>(
+      bytes.data() + kDcgHeaderBytes + (static_cast<std::size_t>(n) + 1) * 8);
+
+  // Eager offsets pass: monotone + exact arc total, and the degree bound
+  // every palette/pipeline consults up front. Sharded + shard-order folded,
+  // so the scan parallelizes without changing which violation is reported.
+  DC_CHECK(offsets[0] == 0, path, ": CSR offsets must start at 0, got ",
+           offsets[0]);
+  DC_CHECK(offsets[n] == num_arcs, path, ": CSR offsets end at ", offsets[n],
+           " but the header claims ", num_arcs, " adjacency entries");
+  struct OffsetsScan {
+    NodeId max_degree = 0;
+    NodeId first_bad = 0;
+    bool bad = false;
+  };
+  const OffsetsScan scan = parallel_reduce_shards<OffsetsScan>(
+      exec, n, {},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        OffsetsScan part;
+        for (std::size_t v = begin; v < end; ++v) {
+          if (offsets[v] > offsets[v + 1]) {
+            if (!part.bad) {
+              part.bad = true;
+              part.first_bad = static_cast<NodeId>(v);
+            }
+            continue;
+          }
+          part.max_degree = std::max(
+              part.max_degree, static_cast<NodeId>(offsets[v + 1] - offsets[v]));
+        }
+        return part;
+      },
+      [](OffsetsScan acc, OffsetsScan part) {
+        if (!acc.bad && part.bad) {
+          acc.bad = true;
+          acc.first_bad = part.first_bad;
+        }
+        acc.max_degree = std::max(acc.max_degree, part.max_degree);
+        return acc;
+      });
+  DC_CHECK(!scan.bad, path, ": CSR offsets not monotone at node ",
+           scan.first_bad);
+
+  // Adjacency access tends to be vertex-range scans (the pipelines walk
+  // nodes in order); let readahead work for us.
+  file->advise_sequential();
+  auto mapped = std::make_shared<const MappedCsr>(file, offsets, adj, n);
+  return Graph::from_mapped_csr(std::move(mapped), n, num_arcs,
+                                scan.max_degree);
 }
 
 // ---------------------------------------------------------------------------

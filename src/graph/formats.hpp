@@ -100,6 +100,20 @@ std::string dcg_bytes(const Graph& g);
 /// invariant. Throws CheckError naming `what` on any violation.
 Graph parse_dcg(std::string_view bytes, const std::string& what = "<dcg>");
 
+/// Out-of-core read path: mmap a .dcg file and return a Graph whose CSR
+/// arrays are views into the mapping (Graph::from_mapped_csr). Validated
+/// eagerly: magic, header, exact file size, and the entire offsets array
+/// (monotone, bounds; one sharded pass under `exec` that also computes the
+/// degree bound). Validated lazily, per vertex block on first touch:
+/// adjacency structure (sorted, in-range, loop-free) — see MappedCsr.
+/// Deliberately NOT verified on this path, documented in docs/FORMATS.md:
+/// the trailing FNV-1a checksum (sequential by construction — checking it
+/// would fault in every page of a graph chosen to be larger than RAM; use
+/// parse_dcg / `detcol convert` when end-to-end integrity matters more
+/// than residency) and adjacency symmetry. Throws CheckError on any
+/// violation; the returned Graph (and every copy) keeps the file mapped.
+Graph map_dcg_file(const std::string& path, ExecContext exec = {});
+
 void write_dcg_file(const std::string& path, const Graph& g);
 
 /// Write `g` to `path` as `fmt` (kAuto resolves from the extension; an

@@ -1,10 +1,140 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.hpp"
+#include "util/mmap_file.hpp"
 
 namespace detcol {
+
+// The mapped rebind reinterprets the on-disk little-endian u64 offsets array
+// as std::size_t. Both assumptions are compile-time facts of every supported
+// target (x86-64 / aarch64 Linux); a port to a platform where either fails
+// must fall back to the eager parse_dcg path.
+static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+              "mapped .dcg offsets require 64-bit std::size_t");
+static_assert(std::endian::native == std::endian::little,
+              "mapped .dcg arrays require a little-endian host");
+
+// ---------------------------------------------------------------------------
+// MappedCsr: lazy per-block structural validation.
+// ---------------------------------------------------------------------------
+
+MappedCsr::MappedCsr(std::shared_ptr<const MappedFile> file,
+                     const std::uint64_t* offsets, const NodeId* adj, NodeId n)
+    : file_(std::move(file)), offsets_(offsets), adj_(adj), n_(n) {
+  const std::size_t blocks =
+      (static_cast<std::size_t>(n) + kBlockVertices - 1) / kBlockVertices;
+  checked_ = std::vector<std::atomic<std::uint32_t>>((blocks + 31) / 32);
+}
+
+void MappedCsr::validate_block(NodeId v) const {
+  const std::size_t block = v / kBlockVertices;
+  std::atomic<std::uint32_t>& word = checked_[block / 32];
+  const std::uint32_t bit = std::uint32_t{1} << (block % 32);
+  if ((word.load(std::memory_order_acquire) & bit) != 0) return;
+  const NodeId begin = static_cast<NodeId>(block * kBlockVertices);
+  const NodeId end = static_cast<NodeId>(
+      std::min<std::size_t>(n_, (block + 1) * kBlockVertices));
+  for (NodeId u = begin; u < end; ++u) {
+    const std::uint64_t lo = offsets_[u];
+    const std::uint64_t hi = offsets_[u + 1];
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      const NodeId w = adj_[i];
+      DC_CHECK(w < n_, file_->path(), ": mapped CSR neighbor ", w, " of node ",
+               u, " out of range (n=", n_, ")");
+      DC_CHECK(w != u, file_->path(), ": mapped CSR self-loop on node ", u);
+      DC_CHECK(i == lo || adj_[i - 1] < w, file_->path(),
+               ": mapped CSR adjacency of node ", u,
+               " not strictly increasing at entry ", i - lo);
+    }
+  }
+  // Concurrent validators re-check the same immutable bytes; whichever
+  // publishes first, the block is proven before any reader skips the check.
+  word.fetch_or(bit, std::memory_order_release);
+}
+
+std::string_view MappedCsr::file_bytes() const { return file_->bytes(); }
+
+const std::string& MappedCsr::path() const { return file_->path(); }
+
+// ---------------------------------------------------------------------------
+// Graph: copy/move rebinding.
+// ---------------------------------------------------------------------------
+
+void Graph::rebind_owned() {
+  offsets_p_ = offsets_.data();
+  adj_p_ = adj_.data();
+}
+
+Graph::Graph(const Graph& other)
+    : offsets_(other.offsets_),
+      adj_(other.adj_),
+      mapped_(other.mapped_),
+      offsets_p_(other.offsets_p_),
+      adj_p_(other.adj_p_),
+      n_(other.n_),
+      num_arcs_(other.num_arcs_),
+      max_degree_(other.max_degree_) {
+  if (!mapped_) rebind_owned();
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  offsets_ = other.offsets_;
+  adj_ = other.adj_;
+  mapped_ = other.mapped_;
+  offsets_p_ = other.offsets_p_;
+  adj_p_ = other.adj_p_;
+  n_ = other.n_;
+  num_arcs_ = other.num_arcs_;
+  max_degree_ = other.max_degree_;
+  if (!mapped_) rebind_owned();
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : offsets_(std::move(other.offsets_)),
+      adj_(std::move(other.adj_)),
+      mapped_(std::move(other.mapped_)),
+      offsets_p_(other.offsets_p_),
+      adj_p_(other.adj_p_),
+      n_(other.n_),
+      num_arcs_(other.num_arcs_),
+      max_degree_(other.max_degree_) {
+  if (!mapped_) rebind_owned();
+  other.mapped_.reset();
+  other.offsets_p_ = nullptr;
+  other.adj_p_ = nullptr;
+  other.n_ = 0;
+  other.num_arcs_ = 0;
+  other.max_degree_ = 0;
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  offsets_ = std::move(other.offsets_);
+  adj_ = std::move(other.adj_);
+  mapped_ = std::move(other.mapped_);
+  offsets_p_ = other.offsets_p_;
+  adj_p_ = other.adj_p_;
+  n_ = other.n_;
+  num_arcs_ = other.num_arcs_;
+  max_degree_ = other.max_degree_;
+  if (!mapped_) rebind_owned();
+  other.mapped_.reset();
+  other.offsets_p_ = nullptr;
+  other.adj_p_ = nullptr;
+  other.n_ = 0;
+  other.num_arcs_ = 0;
+  other.max_degree_ = 0;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Builders.
+// ---------------------------------------------------------------------------
 
 Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
   std::vector<Edge> norm;
@@ -28,6 +158,9 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
     g.offsets_[i] += g.offsets_[i - 1];
   }
   g.adj_.resize(norm.size() * 2);
+  g.n_ = num_nodes;
+  g.num_arcs_ = g.adj_.size();
+  g.rebind_owned();
   std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const auto& [u, v] : norm) {
     g.adj_[cursor[u]++] = v;
@@ -60,6 +193,9 @@ Graph Graph::from_csr(std::vector<std::size_t> offsets,
   Graph g;
   g.offsets_ = std::move(offsets);
   g.adj_ = std::move(adj);
+  g.n_ = n;
+  g.num_arcs_ = g.adj_.size();
+  g.rebind_owned();
   for (NodeId v = 0; v < n; ++v) {
     const auto nb = g.neighbors(v);
     for (std::size_t i = 0; i < nb.size(); ++i) {
@@ -81,6 +217,25 @@ Graph Graph::from_csr(std::vector<std::size_t> offsets,
   for (NodeId v = 0; v < n; ++v) {
     g.max_degree_ = std::max(g.max_degree_, g.degree(v));
   }
+  return g;
+}
+
+Graph Graph::from_mapped_csr(std::shared_ptr<const MappedCsr> mapped,
+                             NodeId n, std::size_t num_arcs,
+                             NodeId max_degree) {
+  DC_CHECK(mapped != nullptr, "from_mapped_csr needs a mapping");
+  Graph g;
+  g.mapped_ = std::move(mapped);
+  const std::string_view bytes = g.mapped_->file_bytes();
+  // Layout facts established by the caller's header validation (see
+  // map_dcg_file): offsets at byte 32, adjacency right after. Both are
+  // naturally aligned because the mapping is page-aligned.
+  g.offsets_p_ = reinterpret_cast<const std::size_t*>(bytes.data() + 32);
+  g.adj_p_ = reinterpret_cast<const NodeId*>(
+      bytes.data() + 32 + (static_cast<std::size_t>(n) + 1) * 8);
+  g.n_ = n;
+  g.num_arcs_ = num_arcs;
+  g.max_degree_ = max_degree;
   return g;
 }
 

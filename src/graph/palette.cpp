@@ -17,12 +17,19 @@ PaletteSet::PaletteSet(std::vector<std::vector<Color>> palettes)
 }
 
 PaletteSet PaletteSet::uniform(NodeId num_nodes, Color num_colors) {
-  std::vector<std::vector<Color>> pal(num_nodes);
-  for (auto& p : pal) {
-    p.resize(num_colors);
-    for (Color c = 0; c < num_colors; ++c) p[c] = c;
-  }
-  return PaletteSet(std::move(pal));
+  auto colors = std::make_shared<std::vector<Color>>(num_colors);
+  for (Color c = 0; c < num_colors; ++c) (*colors)[c] = c;
+  PaletteSet out;
+  out.shared_ = std::move(colors);
+  out.shared_nodes_ = num_nodes;
+  return out;
+}
+
+void PaletteSet::materialize() {
+  if (!shared_) return;
+  pal_.assign(shared_nodes_, *shared_);
+  shared_.reset();
+  shared_nodes_ = 0;
 }
 
 PaletteSet PaletteSet::delta_plus_one(const Graph& g) {
@@ -79,12 +86,14 @@ PaletteSet PaletteSet::deg_plus_one_lists(const Graph& g, Color color_space,
 }
 
 std::size_t PaletteSet::total_size() const {
+  if (shared_) return std::size_t{shared_nodes_} * shared_->size();
   std::size_t s = 0;
   for (const auto& p : pal_) s += p.size();
   return s;
 }
 
 void PaletteSet::restrict(NodeId v, FunctionRef<bool(Color)> keep) {
+  materialize();
   auto& p = pal_[v];
   p.erase(std::remove_if(p.begin(), p.end(),
                          [&](Color c) { return !keep(c); }),
@@ -92,6 +101,10 @@ void PaletteSet::restrict(NodeId v, FunctionRef<bool(Color)> keep) {
 }
 
 bool PaletteSet::remove_color(NodeId v, Color c) {
+  // A miss must not cost the whole-set materialization: the uniform palette
+  // is {0..k-1}, so c >= k is decidable in shared mode.
+  if (shared_ && c >= shared_->size()) return false;
+  materialize();
   auto& p = pal_[v];
   const auto it = std::lower_bound(p.begin(), p.end(), c);
   if (it == p.end() || *it != c) return false;
@@ -100,11 +113,14 @@ bool PaletteSet::remove_color(NodeId v, Color c) {
 }
 
 void PaletteSet::truncate(NodeId v, std::size_t k) {
+  if (shared_ && shared_->size() <= k) return;  // no-op, stay shared
+  materialize();
   auto& p = pal_[v];
   if (p.size() > k) p.resize(k);
 }
 
 bool PaletteSet::contains(NodeId v, Color c) const {
+  if (shared_) return c < shared_->size();
   const auto& p = pal_[v];
   return std::binary_search(p.begin(), p.end(), c);
 }

@@ -5,9 +5,22 @@
 // mutates palettes in exactly the two ways the paper allows:
 //   * restrict-to-bin (Algorithm 2: keep only colors h2 maps to the bin), and
 //   * remove-used (palette updates before coloring the last bin and G0).
+// Storage comes in two modes behind one accessor surface (the same split
+// Graph makes for owned vs mapped CSR):
+//   * per-node  — every node owns its sorted vector (lists, deg1, or any
+//                 set that has been mutated).
+//   * shared-uniform — uniform()/delta_plus_one() sets, where every node's
+//                 palette is the one immutable vector {0..k-1}. O(1) memory
+//                 instead of Theta(nΔ), which is what lets the read-only
+//                 pipelines (greedy, stats, verify) run on mmap-backed
+//                 graphs far past RAM. The first mutating call materializes
+//                 every node's own copy (whole-set copy-on-write) — the
+//                 mutating pipelines genuinely need per-node palettes, so
+//                 finer granularity would only complicate the hot accessors.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -22,7 +35,8 @@ class PaletteSet {
   explicit PaletteSet(std::vector<std::vector<Color>> palettes);
 
   /// Every node gets the same palette {0, ..., num_colors-1}: the classic
-  /// (Δ+1)-coloring setup when num_colors = Δ+1.
+  /// (Δ+1)-coloring setup when num_colors = Δ+1. Stored shared-uniform
+  /// (see file comment): O(num_colors) memory until the first mutation.
   static PaletteSet uniform(NodeId num_nodes, Color num_colors);
 
   /// (Δ+1)-coloring palettes for a given graph.
@@ -40,9 +54,16 @@ class PaletteSet {
   static PaletteSet deg_plus_one_lists(const Graph& g, Color color_space,
                                        std::uint64_t seed);
 
-  NodeId num_nodes() const { return static_cast<NodeId>(pal_.size()); }
-  std::span<const Color> palette(NodeId v) const { return pal_[v]; }
-  std::size_t palette_size(NodeId v) const { return pal_[v].size(); }
+  NodeId num_nodes() const {
+    return shared_ ? shared_nodes_ : static_cast<NodeId>(pal_.size());
+  }
+  std::span<const Color> palette(NodeId v) const {
+    return shared_ ? std::span<const Color>(*shared_)
+                   : std::span<const Color>(pal_[v]);
+  }
+  std::size_t palette_size(NodeId v) const {
+    return shared_ ? shared_->size() : pal_[v].size();
+  }
 
   /// Total number of stored colors (the Theta(nΔ) term of Theorem 1.2).
   std::size_t total_size() const;
@@ -66,7 +87,15 @@ class PaletteSet {
   bool contains(NodeId v, Color c) const;
 
  private:
-  std::vector<std::vector<Color>> pal_;
+  /// Leave shared-uniform mode: give every node its own copy. Called by
+  /// every mutator; no-op in per-node mode.
+  void materialize();
+
+  std::vector<std::vector<Color>> pal_;  // empty while shared_ is set
+  // Shared-uniform mode: every node's palette is *shared_ ({0..k-1},
+  // immutable — copies of the set alias it safely).
+  std::shared_ptr<const std::vector<Color>> shared_;
+  NodeId shared_nodes_ = 0;
 };
 
 }  // namespace detcol

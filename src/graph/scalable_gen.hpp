@@ -1,0 +1,105 @@
+// Sharded scalable graph generators that stream straight to a .dcg file.
+//
+// The classic generators in graph/generators.hpp materialize an edge list
+// and hand it to Graph::from_edges — fine up to a few million edges, but
+// both the edge list and the CSR must fit in RAM at once. The families
+// here are built for instances near (or past) RAM: every producer is a
+// *stateless hashed* sampler sharded over a static index domain, arcs are
+// routed into vertex-range chunks (spilling to temp files past a byte
+// budget), and the final CSR is streamed into the .dcg container chunk by
+// chunk — the full adjacency array never exists in memory. Peak generator
+// residency is O(n) (the degree array plus one chunk's sort buffer), not
+// O(m). Pair the output with map_dcg_file (graph/formats.hpp) and the
+// whole gen→color pipeline runs out-of-core.
+//
+// Determinism contract (same spirit as exec/exec.hpp): every random
+// decision is a pure function of (seed, index) — hashed with SplitMix64
+// sub-streams, never an RNG threaded across items — and chunk boundaries
+// depend only on n. Sorting each chunk canonicalizes producer emission
+// order, so the output file is byte-identical for every thread count and
+// every spill budget. Golden FNV fingerprints in tests/test_scalable_gen.cpp
+// pin this contract per family.
+//
+// Families (CLI names in parentheses):
+//   kBarabasiAlbert (ba)  — preferential attachment, d arcs per node, via
+//                           the hashed Batagelj–Brandes recursion: the
+//                           attachment target of edge e re-derives the
+//                           random slot chain instead of reading the M
+//                           array, so no shared state. Self-loops dropped,
+//                           multi-edges collapse, so m <= n*d.
+//   kGeometric (rgg)      — random geometric graph on hashed unit-square
+//                           points, grid-bucketed 3x3 cell scan. Exact
+//                           same model as gen_geometric, scalable path.
+//   kGnm (sgnm)           — m hashed uniform pair draws; self-loops
+//                           dropped and duplicates collapse, so the edge
+//                           count is *approximately* m (the classic
+//                           fixed-m sampler needs global dedup state).
+//   kGnp (sgnp)           — per-row geometric skipping over the upper
+//                           triangle, one hashed RNG stream per row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exec/exec.hpp"
+#include "graph/graph.hpp"
+
+namespace detcol {
+
+enum class ScalableFamily {
+  kBarabasiAlbert,  // "ba"
+  kGeometric,       // "rgg"
+  kGnm,             // "sgnm"
+  kGnp,             // "sgnp"
+};
+
+/// Canonical CLI name ("ba", "rgg", "sgnm", "sgnp").
+const char* scalable_family_name(ScalableFamily family);
+
+/// Inverse of scalable_family_name. Returns false on an unknown name.
+bool parse_scalable_family(std::string_view name, ScalableFamily* out);
+
+/// One generation request. Only the parameters of `family` are read:
+/// ba uses {n, d, seed}; rgg uses {n, radius, seed}; sgnm uses {n, m, seed};
+/// sgnp uses {n, p, seed}. Out-of-domain parameters throw CheckError.
+struct ScalableGenSpec {
+  ScalableFamily family = ScalableFamily::kBarabasiAlbert;
+  NodeId n = 0;
+  NodeId d = 0;            // ba: arcs added per node (>= 1)
+  double radius = 0.0;     // rgg: connection radius in (0, 1]
+  std::uint64_t m = 0;     // sgnm: number of hashed pair draws
+  double p = 0.0;          // sgnp: edge probability in [0, 1]
+  std::uint64_t seed = 0;
+};
+
+struct ScalableGenOptions {
+  /// Watermark for in-memory arc/adjacency staging. Past it, chunk buffers
+  /// spill to temp files next to the output (removed on completion and on
+  /// error). Advisory, not a hard cap: parallel chunk finalization may
+  /// transiently exceed it by one wave of sort buffers. The default keeps
+  /// everything in RAM for test-scale graphs; tests force tiny budgets to
+  /// exercise the spill path and prove it changes nothing (byte-identical
+  /// output).
+  std::size_t budget_bytes = std::size_t{1} << 30;
+};
+
+struct ScalableGenResult {
+  NodeId n = 0;
+  std::uint64_t num_edges = 0;  // undirected, after dedup
+  NodeId max_degree = 0;
+};
+
+/// Generate `spec` and stream it to `out_path` as a .dcg container (the
+/// write is crash-atomic: temp file + fsync + rename, like every durable
+/// write in the tree). The emitted bytes are exactly what dcg_bytes() of
+/// the same graph would produce — canonical encoding, valid FNV trailer —
+/// so parse_dcg and map_dcg_file both accept the file and fingerprints are
+/// comparable across paths. Deterministic for every thread count of `exec`
+/// and every budget. Throws CheckError on bad parameters or I/O failure.
+ScalableGenResult generate_scalable_dcg(const ScalableGenSpec& spec,
+                                        const std::string& out_path,
+                                        ExecContext exec = {},
+                                        const ScalableGenOptions& options = {});
+
+}  // namespace detcol

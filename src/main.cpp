@@ -85,13 +85,31 @@ Graph source (gen, color, stats, convert):
                      CSR container — see docs/FORMATS.md).
   --gen=KIND         Generator when no --input: gnp (default), gnm, regular,
                      powerlaw, grid, ring, complete, bipartite, geometric,
-                     planted, tree.
+                     planted, tree; or a scalable out-of-core family — ba
+                     (preferential attachment, --d arcs/node), rgg (random
+                     geometric, --radius), sgnm (~--m uniform edges), sgnp
+                     (per-row G(n,p)). Scalable families stream to a .dcg
+                     and are colored through the mmap read path, so they
+                     scale past RAM; `gen` with one requires --out=FILE.dcg
+                     and accepts --threads (output is bit-identical for
+                     every thread count and is the canonical .dcg encoding).
   --n=N              Nodes (default 1000); also --m, --d, --p (default 0.02),
                      --beta, --avgdeg, --rows, --cols, --a, --b, --radius,
                      --k as each generator requires.
   --seed=S           Generator seed (default 1); identical flags always
                      reproduce the identical graph. Also the algorithm seed
                      for --algo=trial/randreduce.
+  --cache=FILE       (color, stats, suite; scalable --gen only) Generate the
+                     .dcg once at FILE and map it on later runs instead of
+                     regenerating (a present cache is validated at map time
+                     and cross-checked against --n). Without it the instance
+                     streams to an unlinked temp file. Placement only — the
+                     recorded graph spec never includes --cache.
+  --mmap=1           (with --input, .dcg only) Map the file instead of
+                     loading it: offsets validated eagerly, adjacency blocks
+                     lazily on first touch, checksum/symmetry NOT re-checked
+                     (see docs/FORMATS.md). Colors graphs larger than RAM;
+                     results are byte-identical to the loaded path.
 
 Palettes (color, stats):
   --palette=KIND     delta1 (default): uniform [Δ+1].
@@ -450,9 +468,47 @@ int run_stats_via_server(const ArgParser& args) {
 // Subcommands.
 // ---------------------------------------------------------------------------
 
+/// The scalable families stream straight into a .dcg container — the graph
+/// never exists as a heap CSR, so the classic "build then write_edge_list"
+/// shape below does not apply. They are the only `gen` path that accepts
+/// --threads (sharded producers; output bit-identical for every count).
+int cmd_gen_scalable(const ArgParser& args, ScalableFamily family) {
+  const ScalableSource src =
+      parse_scalable_spec(args, family, /*allow_algo_seed=*/false,
+                          /*allow_cache=*/false);
+  const std::string out = get_value_flag(args, "out", "");
+  if (out.empty()) {
+    usage_error(std::string("--gen=") + scalable_family_name(family) +
+                " streams a .dcg container; --out=FILE.dcg is required");
+  }
+  if (format_from_extension(out) != GraphFormat::kDcg) {
+    usage_error("--gen=" + std::string(scalable_family_name(family)) +
+                " writes the .dcg container; --out must end in .dcg (use "
+                "`detcol convert` for other formats)");
+  }
+  const ExecHolder ex = make_exec(args);
+  const ScalableGenResult res = generate_scalable_dcg(src.gen, out, ex.exec);
+  if (!get_bool_strict(args, "quiet")) {
+    std::fprintf(stderr, "generated %s: n=%u, m=%llu, Delta=%u -> %s\n",
+                 src.spec.c_str(), res.n,
+                 static_cast<unsigned long long>(res.num_edges),
+                 res.max_degree, out.c_str());
+  }
+  return kExitOk;
+}
+
 int cmd_gen(const ArgParser& args) {
-  reject_unknown_flags(args, combine(kGraphFlags, {"out", "quiet"}));
+  reject_unknown_flags(args, combine(kGraphFlags, {"out", "quiet", "threads"}));
   reject_positionals(args);
+  if (ScalableFamily family;
+      !args.has("input") &&
+      parse_scalable_family(get_value_flag(args, "gen", "gnp"), &family)) {
+    return cmd_gen_scalable(args, family);
+  }
+  if (args.has("threads")) {
+    usage_error("--threads only applies to the scalable generators "
+                "(--gen=ba, rgg, sgnm, sgnp)");
+  }
   const GraphSource src = build_graph(args, /*allow_algo_seed=*/false);
   with_output(args, [&](std::ostream& os) { write_edge_list(os, src.graph); });
   if (!get_bool_strict(args, "quiet")) {

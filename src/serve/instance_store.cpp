@@ -144,7 +144,14 @@ InstanceStore::Acquired InstanceStore::acquire(
     touch_locked(canon->second);
     return {by_canonical_.at(canon->second), true};
   }
-  const std::uint64_t sum = fnv1a64_bytes(dcg_bytes(built.graph));
+  // Content checksum for spec dedup. The .dcg encoding is canonical, so for
+  // a mapped graph the file's own bytes ARE dcg_bytes(graph) — hashing the
+  // mapping directly skips re-serializing a graph that may be chosen
+  // precisely because it does not fit in RAM as a heap CSR.
+  const std::string_view mapped = built.graph.mapped_bytes();
+  const std::uint64_t sum = !mapped.empty()
+                                ? fnv1a64_bytes(mapped)
+                                : fnv1a64_bytes(dcg_bytes(built.graph));
   const auto by_sum = by_sum_.find(sum);
   if (by_sum != by_sum_.end()) {
     ++hits_;

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -87,6 +88,101 @@ void atomic_write_stream(const std::string& path,
   fn(os);
   DC_CHECK(os.good(), "rendering output for ", path, " failed");
   atomic_write_file(path, std::move(os).str());
+}
+
+namespace {
+
+/// fd-backed ByteSink with a fixed buffer. Records the first write error
+/// instead of throwing mid-writer (the caller checks ok() after fn returns,
+/// mirroring the stream-state protocol of checked_stream_write).
+class FdSink final : public ByteSink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) { buf_.reserve(kBufBytes); }
+
+  void write(const void* data, std::size_t len) override {
+    if (!ok_) return;
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+      const std::size_t room = kBufBytes - buf_.size();
+      const std::size_t take = std::min(len, room);
+      buf_.append(p, take);
+      p += take;
+      len -= take;
+      if (buf_.size() == kBufBytes && !flush()) return;
+    }
+  }
+
+  bool flush() {
+    if (!ok_) return false;
+    const char* p = buf_.data();
+    std::size_t left = buf_.size();
+    while (left > 0) {
+      const ::ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok_ = false;
+        saved_errno_ = errno;
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    buf_.clear();
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  int saved_errno() const { return saved_errno_; }
+
+ private:
+  static constexpr std::size_t kBufBytes = std::size_t{1} << 20;
+  int fd_;
+  std::string buf_;
+  bool ok_ = true;
+  int saved_errno_ = 0;
+};
+
+void checked_chunked_write(const std::string& path,
+                           FunctionRef<void(ByteSink&)> fn) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  DC_CHECK(fd >= 0, "cannot open ", path, " for writing: ", errno_text());
+  FdSink sink(fd);
+  try {
+    DC_FAILPOINT("atomic.write.body");
+    fn(sink);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  const bool flushed = sink.flush();
+  const int close_rc = ::close(fd);
+  if (!flushed) errno = sink.saved_errno();
+  DC_CHECK(flushed, "write to ", path, " failed: ", errno_text());
+  DC_CHECK(close_rc == 0, "close of ", path, " failed: ", errno_text());
+}
+
+}  // namespace
+
+void atomic_write_chunked(const std::string& path,
+                          FunctionRef<void(ByteSink&)> fn) {
+  if (non_regular_target(path)) {
+    checked_chunked_write(path, fn);
+    return;
+  }
+  std::string tmp = path;
+  tmp += ".tmp";
+  try {
+    checked_chunked_write(tmp, fn);
+    fsync_file(tmp);
+    DC_FAILPOINT("atomic.rename");
+    DC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0, "rename ", tmp,
+             " -> ", path, " failed: ", errno_text());
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  fsync_parent_dir(path);
 }
 
 }  // namespace detcol

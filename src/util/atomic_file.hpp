@@ -21,6 +21,7 @@
 // "atomic.rename" — one per protocol step, for fault-injection tests.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -40,5 +41,27 @@ void atomic_write_file(const std::string& path, std::string_view bytes);
 /// shape; durability is this module's job.
 void atomic_write_stream(const std::string& path,
                          FunctionRef<void(std::ostream&)> fn);
+
+/// Buffered byte sink handed to atomic_write_chunked writers. write()
+/// appends; failures surface on the enclosing atomic_write_chunked call
+/// (stream-state style: the sink records the first error and every later
+/// write is a no-op, so writers need no per-call checks).
+class ByteSink {
+ public:
+  virtual void write(const void* data, std::size_t len) = 0;
+  void write(std::string_view bytes) { write(bytes.data(), bytes.size()); }
+
+ protected:
+  ~ByteSink() = default;
+};
+
+/// True streaming variant for artifacts too large to render in memory
+/// (multi-GB .dcg containers): `fn` writes incrementally through a ByteSink
+/// that goes straight to the temp file, then the same fsync + rename
+/// protocol commits it. Same failure guarantees as atomic_write_file; same
+/// "atomic.write.body" / "atomic.fsync" / "atomic.rename" failpoints.
+/// Non-regular targets (/dev/null, pipes) are streamed in place.
+void atomic_write_chunked(const std::string& path,
+                          FunctionRef<void(ByteSink&)> fn);
 
 }  // namespace detcol

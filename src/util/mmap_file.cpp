@@ -1,0 +1,58 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+
+namespace detcol {
+
+std::shared_ptr<MappedFile> MappedFile::open(const std::string& path) {
+  DC_FAILPOINT("mmap.open");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  DC_CHECK(fd >= 0, "cannot open ", path, " for mapping: ",
+           std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    DC_CHECK(false, "cannot stat ", path, ": ", std::strerror(saved));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    DC_CHECK(false, "cannot map ", path, ": not a regular file");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      DC_CHECK(false, "mmap of ", path, " (", size, " bytes) failed: ",
+               std::strerror(saved));
+    }
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+  return std::shared_ptr<MappedFile>(new MappedFile(addr, size, path));
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+void MappedFile::advise_sequential() const {
+  if (addr_ != nullptr) ::madvise(addr_, size_, MADV_SEQUENTIAL);
+}
+
+void MappedFile::advise_random() const {
+  if (addr_ != nullptr) ::madvise(addr_, size_, MADV_RANDOM);
+}
+
+}  // namespace detcol

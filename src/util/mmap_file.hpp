@@ -1,0 +1,56 @@
+// Read-only memory-mapped files (the out-of-core graph substrate).
+//
+// MappedFile wraps one mmap(2) of a whole regular file: open O_RDONLY,
+// fstat for the length, map PROT_READ/MAP_PRIVATE, close the descriptor
+// immediately (the mapping survives the close), munmap in the destructor.
+// The object is heap-only and shared by std::shared_ptr — every consumer
+// that hands out views into the mapping (Graph, the serving layer's
+// instance cache) keeps a shared_ptr alive, so the unmap can never race a
+// live span. That ordering IS the eviction contract: the instance store may
+// drop its reference while a request still holds one, and the pages stay
+// mapped until the last holder releases.
+//
+// Failure model: open/fstat/mmap failures throw CheckError naming the path
+// (exit-1 data errors, like any unreadable input). Truncating the file
+// under an active mapping is outside the model (SIGBUS, as for every
+// mmap consumer); the detcol writers never mutate a published file in
+// place (util/atomic_file renames a fresh inode over the old name, which
+// leaves existing mappings intact).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace detcol {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only in its entirety. Throws CheckError on any
+  /// open/stat/map failure; an empty file maps to a null, zero-length view.
+  static std::shared_ptr<MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  std::size_t size() const { return size_; }
+  std::string_view bytes() const { return {data(), size_}; }
+  const std::string& path() const { return path_; }
+
+  /// madvise(MADV_SEQUENTIAL / MADV_RANDOM) hint; best-effort, never fails.
+  void advise_sequential() const;
+  void advise_random() const;
+
+ private:
+  MappedFile(void* addr, std::size_t size, std::string path)
+      : addr_(addr), size_(size), path_(std::move(path)) {}
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace detcol

@@ -4,9 +4,19 @@
 // palettes — while the coloring must stay verified.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <string>
+
 #include "baselines/random_trial.hpp"
+#include "cli/pipeline.hpp"
+#include "cli/spec.hpp"
 #include "core/color_reduce.hpp"
+#include "exec/exec.hpp"
+#include "graph/corpus.hpp"
+#include "graph/formats.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "lowspace/low_space.hpp"
 
 namespace detcol {
@@ -140,6 +150,136 @@ TEST(Adversarial, DeterminismAcrossConfigurations) {
       const auto b = color_reduce(g, pal, cfg);
       ASSERT_EQ(a.coloring.color, b.coloring.color);
       ASSERT_TRUE(verify_coloring(g, pal, a.coloring).ok);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The committed regression corpus (src/graph/corpus.hpp, corpus/*.dcg).
+// ---------------------------------------------------------------------------
+
+std::string corpus_path(const CorpusGraph& cg) {
+  return std::string(DETCOL_CORPUS_DIR) + "/" + cg.file;
+}
+
+TEST(Corpus, ConstructionsHaveDocumentedShape) {
+  const Graph queens = corpus_queens(8);
+  EXPECT_EQ(queens.num_nodes(), 64u);
+  EXPECT_EQ(queens.num_edges(), 728u);  // DIMACS queen8_8
+
+  const Graph myciel = corpus_mycielski(6);
+  EXPECT_EQ(myciel.num_nodes(), 191u);
+  EXPECT_EQ(myciel.num_edges(), 2360u);  // DIMACS myciel7
+
+  const Graph karate = corpus_karate();
+  EXPECT_EQ(karate.num_nodes(), 34u);
+  EXPECT_EQ(karate.num_edges(), 78u);
+  EXPECT_EQ(karate.max_degree(), 17u);  // node 33, the instructor's rival
+
+  const Graph thr = corpus_threshold_blocks(32, 48);
+  EXPECT_EQ(thr.num_nodes(), 48u * 64u);
+  EXPECT_EQ(thr.num_edges(), 48u * 32u * 32u);
+  EXPECT_EQ(thr.max_degree(), 32u);
+  for (NodeId v = 0; v < thr.num_nodes(); ++v) {
+    ASSERT_EQ(thr.degree(v), 32u) << "threshold adversary must be regular";
+  }
+}
+
+// The committed .dcg files ARE the constructions: the encoding is canonical,
+// so intactness and currency collapse to one byte comparison. Regenerate
+// after an intentional corpus change with
+//   DETCOL_CORPUS_REGEN=1 ./build/test_adversarial
+// (the other corpus tests skip or pass trivially under the regen flag).
+TEST(Corpus, CommittedFilesMatchConstructions) {
+  for (const CorpusGraph& cg : corpus_graphs()) {
+    const Graph g = cg.build();
+    if (std::getenv("DETCOL_CORPUS_REGEN") != nullptr) {
+      write_dcg_file(corpus_path(cg), g);
+      continue;
+    }
+    std::string committed;
+    ASSERT_NO_THROW(committed = slurp_file(corpus_path(cg)))
+        << cg.name << ": missing " << corpus_path(cg)
+        << " (regenerate with DETCOL_CORPUS_REGEN=1)";
+    EXPECT_TRUE(committed == dcg_bytes(g))
+        << cg.name << ": " << cg.file << " does not match the construction "
+        << "(stale file or changed construction — see DETCOL_CORPUS_REGEN)";
+  }
+}
+
+TEST(Corpus, MmapColoringsMatchInRam) {
+  if (std::getenv("DETCOL_CORPUS_REGEN") != nullptr) GTEST_SKIP();
+  for (const CorpusGraph& cg : corpus_graphs()) {
+    const Graph owned = cg.build();
+    const Graph mapped = map_dcg_file(corpus_path(cg));
+    const PaletteSet pal = PaletteSet::delta_plus_one(owned);
+    const auto a = color_reduce(owned, pal);
+    const auto b = color_reduce(mapped, pal);
+    ASSERT_EQ(a.coloring.color, b.coloring.color) << cg.name;
+    ASSERT_TRUE(verify_coloring(mapped, pal, b.coloring).ok) << cg.name;
+  }
+}
+
+/// Tracked baselines: rounds and distinct colors per (graph, pipeline) on
+/// delta1 palettes. These pin behavior, not quality: any intentional change
+/// to partition/seed-search logic that moves them must update this table
+/// (and the committed corpus/corpus_report.json) in the same commit.
+struct CorpusBaseline {
+  const char* graph;
+  const char* pipeline;
+  std::uint64_t rounds;
+  std::size_t colors;
+};
+
+constexpr CorpusBaseline kCorpusBaselines[] = {
+    {"queens8", "reduce", 2614, 12},
+    {"queens8", "lowspace", 1215, 17},
+    {"myciel7", "reduce", 1334, 9},
+    {"myciel7", "lowspace", 741, 23},
+    {"karate", "reduce", 2072, 6},
+    {"karate", "lowspace", 474, 7},
+    // The K_{32,32} blocks are bipartite: reduce's recursion collapses them
+    // to a 2-coloring, while lowspace's bin-greedy keeps the full Delta+1
+    // spread — a useful spot check that the table pins behavior per pipeline.
+    {"threshold32", "reduce", 856, 2},
+    {"threshold32", "lowspace", 276, 33},
+};
+
+TEST(Corpus, RoundsAndColorsPinnedAcrossThreads) {
+  for (const CorpusGraph& cg : corpus_graphs()) {
+    const Graph g = cg.build();
+    const PaletteSet pal = PaletteSet::delta_plus_one(g);
+    for (const char* pipeline : {"reduce", "lowspace"}) {
+      std::optional<cli::PipelineRun> first;
+      for (const unsigned threads : {1u, 2u, 4u, 7u}) {
+        ExecHolder holder = make_exec_holder(threads);
+        cli::PipelineRun run = cli::run_pipeline(
+            pipeline, g, pal, holder.exec, /*seed=*/1, /*want_stats=*/false);
+        ASSERT_TRUE(verify_coloring(g, pal, run.coloring).ok)
+            << cg.name << "/" << pipeline << " at " << threads << " threads";
+        if (!first) {
+          first = std::move(run);
+        } else {
+          ASSERT_EQ(first->coloring.color, run.coloring.color)
+              << cg.name << "/" << pipeline << ": coloring changed at "
+              << threads << " threads";
+          ASSERT_EQ(first->rounds, run.rounds)
+              << cg.name << "/" << pipeline << ": rounds changed at "
+              << threads << " threads";
+        }
+      }
+      const CorpusBaseline* base = nullptr;
+      for (const CorpusBaseline& b : kCorpusBaselines) {
+        if (std::string(b.graph) == cg.name &&
+            std::string(b.pipeline) == pipeline) {
+          base = &b;
+        }
+      }
+      ASSERT_NE(base, nullptr) << cg.name << "/" << pipeline
+                               << ": no tracked baseline";
+      EXPECT_EQ(first->rounds, base->rounds) << cg.name << "/" << pipeline;
+      EXPECT_EQ(cli::count_distinct_colors(first->coloring), base->colors)
+          << cg.name << "/" << pipeline;
     }
   }
 }

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "graph/scalable_gen.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "util/check.hpp"
@@ -261,6 +262,40 @@ TEST(ServeE2E, EvictionThenReloadReproducesTheBytes) {
   ASSERT_NE(instances, nullptr);
   EXPECT_GE(instances->find("evictions")->number, 2.0) << raw;
   EXPECT_EQ(instances->find("resident")->number, 1.0);
+}
+
+TEST(ServeE2E, MmapInstancesEvictReloadAndDedupeAgainstInRam) {
+  const fs::path dir = test_dir();
+  const fs::path a = dir / "a.dcg";
+  const fs::path b = dir / "b.dcg";
+  {
+    ScalableGenSpec spec;
+    spec.family = ScalableFamily::kBarabasiAlbert;
+    spec.n = 4000;
+    spec.d = 3;
+    spec.seed = 1;
+    generate_scalable_dcg(spec, a.string());
+    spec.seed = 2;
+    generate_scalable_dcg(spec, b.string());
+  }
+  const fs::path sock = dir / "s.sock";
+  ServerGuard server(sock, {"--cache-instances=1", "--result-cache=0"});
+  const std::string spec_a = "--input=" + a.string() + " --mmap=1";
+  const std::string spec_b = "--input=" + b.string() + " --mmap=1";
+  // B evicts A's instance (one residency slot): the mapping must come down
+  // cleanly and come back byte-identical when A is requested again.
+  const std::string first = result_span(sock.string(), color_request(spec_a));
+  ASSERT_NE(first, "");
+  const std::string other = result_span(sock.string(), color_request(spec_b));
+  ASSERT_NE(other, "");
+  EXPECT_NE(first, other) << "different seeds must color differently";
+  EXPECT_EQ(result_span(sock.string(), color_request(spec_a)), first);
+  // The in-RAM spelling of the same file dedupes onto the mapped instance:
+  // the .dcg encoding is canonical, so the content checksum of the mapping
+  // equals the checksum of the re-serialized heap graph.
+  EXPECT_EQ(result_span(sock.string(),
+                        color_request("--input=" + a.string())),
+            first);
 }
 
 TEST(ServeE2E, ResultCacheHitsReplayIdenticalBytes) {
